@@ -1,0 +1,39 @@
+"""Ablation (ours): value of the in-flight Check prune (Alg. 3 l. 14).
+
+DRL stays correct without the opportunistic Check (the final cleanup
+is exact either way), but the flood then expands through vertices the
+inverted lists would have pruned.  This measures total compute units
+with and without it.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_ablation_check_pruning
+
+
+def _run():
+    return run_ablation_check_pruning(dataset_names=FIG_DATASETS)
+
+
+def test_ablation_check_pruning(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("ablation_check_pruning", table.render())
+
+    wins = 0
+    comparable = 0
+    for row in table.rows:
+        with_check = table.get(row, "with Check")
+        without = table.get(row, "without Check")
+        if with_check.ok and without.ok:
+            comparable += 1
+            if without.value >= with_check.value:
+                wins += 1
+    assert comparable, "no dataset finished both variants"
+    # The prune must help (or at least not hurt) on most graphs.
+    assert wins >= comparable / 2
+
+
+if __name__ == "__main__":
+    print(_run().render())

@@ -1,0 +1,57 @@
+"""Ablation (ours): Pregel message combining in DRL_b.
+
+The paper's system sends one message per edge per BFS wavefront; a
+per-node combiner (dedup of identical ``{ID, order}`` messages to the
+same destination within a super-step) can only reduce network traffic.
+This quantifies the saving — and verifies the index is unchanged.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench.results import ExperimentTable
+from repro.core.drl_batch import drl_batch_index
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import paper_scale_model
+from repro.workloads.datasets import MEDIUM_DATASETS, get_dataset
+
+
+def _run() -> ExperimentTable:
+    names = MEDIUM_DATASETS if FIG_DATASETS is None else FIG_DATASETS
+    cost_model = paper_scale_model(time_limit_seconds=None)
+    columns = ["messages", "messages+combiner", "saving %"]
+    table = ExperimentTable(
+        "Ablation — DRL_b message counts with/without combiner",
+        columns,
+        precision=1,
+    )
+    for name in names:
+        graph = get_dataset(name).load()
+        order = degree_order(graph)
+        plain = drl_batch_index(graph, order, num_nodes=32, cost_model=cost_model)
+        combined = drl_batch_index(
+            graph, order, num_nodes=32, cost_model=cost_model,
+            combine_messages=True,
+        )
+        assert combined.index == plain.index  # combiner never changes output
+        a = plain.stats.total_messages
+        b = combined.stats.total_messages
+        table.set(name, "messages", float(a))
+        table.set(name, "messages+combiner", float(b))
+        table.set(name, "saving %", 100.0 * (a - b) / max(1, a))
+    return table
+
+
+def test_ablation_combiner(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("ablation_combiner", table.render())
+    for row in table.rows:
+        assert (
+            table.get(row, "messages+combiner").value
+            <= table.get(row, "messages").value
+        )
+
+
+if __name__ == "__main__":
+    print(_run().render())

@@ -1,0 +1,42 @@
+"""Ablation (ours): how the vertex-order strategy affects DRL_b.
+
+The paper motivates the degree-product order as "cheap to calculate
+and works well in practice" (Section II-B).  This benchmark measures
+DRL_b's index time and, more importantly, index size under alternative
+orders; a random order should inflate the index substantially.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_ablation_orders
+
+
+def _run():
+    return run_ablation_orders(dataset_names=FIG_DATASETS)
+
+
+def test_ablation_orders(benchmark):
+    time_table, size_table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print(
+        "ablation_orders", time_table.render() + "\n\n" + size_table.render()
+    )
+
+    inflations = []
+    for row in size_table.rows:
+        degree = size_table.get(row, "degree")
+        rand = size_table.get(row, "random")
+        if degree.ok and rand.ok:
+            inflations.append(rand.value / degree.value)
+    assert inflations, "no dataset produced comparable sizes"
+    # The degree order never loses, and on reachability-dense graphs
+    # (the citation datasets) it wins by a wide margin.
+    assert sum(inflations) / len(inflations) > 1.0
+    assert max(inflations) > 1.25
+
+
+if __name__ == "__main__":
+    for table in _run():
+        print(table.render())
+        print()

@@ -1,0 +1,32 @@
+"""Ablation (ours): vertex partitioner vs communication time.
+
+The paper hash-partitions vertices by id.  This measures DRL_b's
+communication seconds under hash, modulo, range, and block
+partitioning; range partitioning tends to colocate the id-correlated
+neighborhoods that synthetic generators produce.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_ablation_partitioners
+
+
+def _run():
+    return run_ablation_partitioners(dataset_names=FIG_DATASETS)
+
+
+def test_ablation_partitioners(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("ablation_partitioners", table.render())
+
+    for row in table.rows:
+        cells = [table.get(row, c) for c in table.columns]
+        assert all(cell.ok for cell in cells), f"a partitioner failed on {row}"
+        # Communication exists under every partitioning (nonzero).
+        assert all(cell.value > 0 for cell in cells)
+
+
+if __name__ == "__main__":
+    print(_run().render())

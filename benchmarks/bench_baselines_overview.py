@@ -1,0 +1,120 @@
+"""Extension benchmark (ours): the related-work landscape in one table.
+
+Compares every query-answering approach in the library on the medium
+graphs — index-only (TOL index via DRL_b, condensed variant),
+index-assisted (BFL, GRAIL), and index-free (online BFS) — on
+build cost, index size, and mean query cost, all in the same simulated
+units.  This is the quantitative version of the paper's Related Work
+section.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.baselines.bfl import build_bfl
+from repro.baselines.chain_tc import build_chain_tc
+from repro.baselines.grail import build_grail
+from repro.baselines.ip_label import build_ip
+from repro.baselines.online import OnlineSearcher
+from repro.bench.results import ExperimentTable
+from repro.core.build import build_index
+from repro.core.condensed import build_condensed_index
+from repro.pregel.cost_model import paper_scale_model
+from repro.pregel.serial import SerialMeter
+from repro.workloads.datasets import MEDIUM_DATASETS, get_dataset
+from repro.workloads.queries import random_pairs
+
+APPROACHES = ("DRL_b", "condensed", "chain-TC", "BFL", "GRAIL", "IP", "online")
+
+
+def _run():
+    names = MEDIUM_DATASETS if FIG_DATASETS is None else FIG_DATASETS
+    cost_model = paper_scale_model(time_limit_seconds=None)
+    t_op = cost_model.t_op
+    size_table = ExperimentTable(
+        "Baselines — index size (KiB)", list(APPROACHES), precision=1
+    )
+    query_table = ExperimentTable(
+        "Baselines — mean query cost (simulated s)",
+        list(APPROACHES),
+        scientific=True,
+    )
+    for name in names:
+        graph = get_dataset(name).load()
+        pairs = random_pairs(graph.num_vertices, 400, seed=11)
+
+        result = build_index(graph, cost_model=cost_model)
+        size_table.set(name, "DRL_b", result.index.size_bytes() / 1024)
+        units = sum(
+            len(result.index.out_labels(s)) + len(result.index.in_labels(t)) + 1
+            for s, t in pairs
+        )
+        query_table.set(name, "DRL_b", units * t_op / len(pairs))
+
+        condensed, _ = build_condensed_index(graph, cost_model=cost_model)
+        size_table.set(name, "condensed", condensed.size_bytes() / 1024)
+        dag_index = condensed.dag_index
+        units = sum(
+            len(dag_index.out_labels(condensed.component_of(s)))
+            + len(dag_index.in_labels(condensed.component_of(t)))
+            + 2
+            for s, t in pairs
+        )
+        query_table.set(name, "condensed", units * t_op / len(pairs))
+
+        chain = build_chain_tc(graph)
+        size_table.set(name, "chain-TC", chain.size_bytes() / 1024)
+        meter = SerialMeter(cost_model.with_time_limit(None))
+        for s, t in pairs:
+            chain.query(s, t, meter=meter)
+        query_table.set(name, "chain-TC", meter.simulated_seconds / len(pairs))
+
+        ip = build_ip(graph)
+        size_table.set(name, "IP", ip.size_bytes() / 1024)
+        meter = SerialMeter(cost_model.with_time_limit(None))
+        for s, t in pairs:
+            ip.query(s, t, meter=meter)
+        query_table.set(name, "IP", meter.simulated_seconds / len(pairs))
+
+        bfl = build_bfl(graph)
+        size_table.set(name, "BFL", bfl.size_bytes() / 1024)
+        meter = SerialMeter(cost_model.with_time_limit(None))
+        for s, t in pairs:
+            bfl.query(s, t, meter=meter)
+        query_table.set(name, "BFL", meter.simulated_seconds / len(pairs))
+
+        grail = build_grail(graph)
+        size_table.set(name, "GRAIL", grail.size_bytes() / 1024)
+        meter = SerialMeter(cost_model.with_time_limit(None))
+        for s, t in pairs:
+            grail.query(s, t, meter=meter)
+        query_table.set(name, "GRAIL", meter.simulated_seconds / len(pairs))
+
+        online = OnlineSearcher(graph, cost_model)
+        size_table.set(name, "online", 0.0)
+        total = sum(online.query_with_cost(s, t)[1] for s, t in pairs)
+        query_table.set(name, "online", total / len(pairs))
+    return size_table, query_table
+
+
+def test_baselines_overview(benchmark):
+    size_table, query_table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print(
+        "baselines_overview",
+        size_table.render() + "\n\n" + query_table.render(),
+    )
+    for row in query_table.rows:
+        drlb = query_table.get(row, "DRL_b").value
+        online = query_table.get(row, "online").value
+        # The index-only approach must dominate index-free search.
+        assert drlb < online
+        # Index-assisted methods sit in between or near the index side.
+        assert query_table.get(row, "BFL").value < online
+        assert query_table.get(row, "GRAIL").value < online
+
+
+if __name__ == "__main__":
+    for table in _run():
+        print(table.render())
+        print()

@@ -1,0 +1,73 @@
+"""Extension benchmark (ours): dynamic maintenance vs rebuild.
+
+The paper leaves dynamic distributed graphs to future work; the
+library ships exact centralized maintenance (``repro.core.dynamic``).
+This measures mean wall-clock cost of an incremental edge insertion /
+deletion against rebuilding the index from scratch.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench.results import ExperimentTable
+from repro.core.dynamic import DynamicReachabilityIndex
+from repro.core.tol import tol_index
+from repro.workloads.datasets import get_dataset
+
+DATASETS = ("WEBW", "TW") if FIG_DATASETS is None else FIG_DATASETS
+NUM_UPDATES = 60
+
+
+def _run() -> ExperimentTable:
+    columns = ["insert (ms)", "delete (ms)", "rebuild (ms)", "speedup"]
+    table = ExperimentTable(
+        "Dynamic maintenance — mean wall ms per operation", columns, precision=2
+    )
+    for name in DATASETS:
+        graph = get_dataset(name).load()
+        dynamic = DynamicReachabilityIndex(graph)
+        rng = random.Random(5)
+        n = graph.num_vertices
+
+        start = time.perf_counter()
+        tol_index(dynamic.current_graph(), dynamic._order)
+        rebuild_ms = (time.perf_counter() - start) * 1e3
+
+        inserted = []
+        start = time.perf_counter()
+        done = 0
+        while done < NUM_UPDATES:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if dynamic.insert_edge(u, v):
+                inserted.append((u, v))
+                done += 1
+        insert_ms = (time.perf_counter() - start) * 1e3 / NUM_UPDATES
+
+        start = time.perf_counter()
+        for u, v in inserted:
+            dynamic.delete_edge(u, v)
+        delete_ms = (time.perf_counter() - start) * 1e3 / NUM_UPDATES
+
+        table.set(name, "insert (ms)", insert_ms)
+        table.set(name, "delete (ms)", delete_ms)
+        table.set(name, "rebuild (ms)", rebuild_ms)
+        table.set(name, "speedup", rebuild_ms / max(insert_ms, 1e-9))
+    return table
+
+
+def test_dynamic_updates(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("dynamic_updates", table.render())
+    for row in table.rows:
+        # Incremental insertion must beat a full rebuild.
+        assert table.get(row, "speedup").value > 1.5, row
+
+
+if __name__ == "__main__":
+    print(_run().render())

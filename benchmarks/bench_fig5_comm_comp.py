@@ -1,0 +1,35 @@
+"""Fig. 5 (Exp 4): computation vs communication time of DRL⁻ / DRL /
+DRL_b on the six medium graphs.
+
+Expected shape (paper): DRL is far faster than DRL⁻ (which may hit the
+cut-off); DRL_b improves on DRL (~3.5x) and reduces communication.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_fig5_comm_comp
+
+
+def _run():
+    return run_fig5_comm_comp(dataset_names=FIG_DATASETS)
+
+
+def test_fig5_comm_comp(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("fig5_comm_comp", table.render())
+
+    for row in table.rows:
+        drl = table.get(row, "DRL comp")
+        drlb = table.get(row, "DRL_b comp")
+        basic = table.get(row, "DRL- comp")
+        assert drl.ok and drlb.ok, f"DRL/DRL_b must finish on {row}"
+        if basic.ok:
+            total_basic = basic.value + table.get(row, "DRL- comm").value
+            total_drl = drl.value + table.get(row, "DRL comm").value
+            assert total_basic >= total_drl, f"DRL- faster than DRL on {row}"
+
+
+if __name__ == "__main__":
+    print(_run().render())

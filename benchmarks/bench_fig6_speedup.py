@@ -1,0 +1,46 @@
+"""Fig. 6 (Exp 5): speedup of DRL⁻ / DRL / DRL_b as the node count
+grows from 1 to 32, on the six medium graphs.
+
+Expected shape (paper): DRL_b's speedup increases with the node count
+(max ≈ 18x at 32 nodes); DRL⁻ often cannot finish on one node within
+the cut-off (marked INF).
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_fig6_speedup
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _run():
+    return run_fig6_speedup(dataset_names=FIG_DATASETS, node_counts=NODE_COUNTS)
+
+
+def test_fig6_speedup(benchmark):
+    tables = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rendered = "\n\n".join(t.render() for t in tables.values())
+    save_and_print("fig6_speedup", rendered)
+
+    # As in the paper, a dataset whose 1-node run exceeds the cut-off
+    # has no speedup series (its "failure is marked at the title").
+    drlb = tables["drl-b"]
+    complete = 0
+    for row in drlb.rows:
+        series = [drlb.get(row, str(x)) for x in NODE_COUNTS]
+        if not all(cell.ok for cell in series):
+            continue
+        complete += 1
+        assert abs(series[0].value - 1.0) < 1e-9
+        # Speedup at 32 nodes must clearly exceed 1 and the 2-node one.
+        assert series[-1].value > 1.5, f"no 32-node speedup on {row}"
+        assert series[-1].value > series[1].value
+    assert complete >= 4, "DRL_b should report a speedup on most graphs"
+
+
+if __name__ == "__main__":
+    for table in _run().values():
+        print(table.render())
+        print()

@@ -1,0 +1,39 @@
+"""Fig. 7 (Exp 6): index time on test graphs containing 20%..100% of
+each medium graph's edges.
+
+Expected shape (paper): index time grows smoothly (not explosively)
+with graph size for all three algorithms.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_fig7_scalability
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _run():
+    return run_fig7_scalability(dataset_names=FIG_DATASETS, fractions=FRACTIONS)
+
+
+def test_fig7_scalability(benchmark):
+    tables = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rendered = "\n\n".join(t.render() for t in tables.values())
+    save_and_print("fig7_scalability", rendered)
+
+    drlb = tables["drl-b"]
+    for row in drlb.rows:
+        series = [drlb.get(row, c) for c in drlb.columns]
+        assert all(cell.ok for cell in series), f"DRL_b failed on {row}"
+        # Smooth growth: the full graph costs more than the smallest
+        # slice but by a bounded factor (the paper reports 4.8x on TW).
+        assert series[-1].value >= series[0].value * 0.8
+        assert series[-1].value <= series[0].value * 60
+
+
+if __name__ == "__main__":
+    for table in _run().values():
+        print(table.render())
+        print()

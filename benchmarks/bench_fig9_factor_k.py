@@ -1,0 +1,44 @@
+"""Fig. 9 (Exp 8): effect of the increment factor k on DRL_b's index
+time (b fixed at 2).
+
+Expected shape (paper): k = 1 (constant-size batches, hence ~n/2
+batches) is drastically slower — up to 812x; for k > 1 the index time
+is flat, and 2 is a good default.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_fig9_factor_k
+
+K_VALUES = (1, 1.5, 2, 2.5, 3, 3.5, 4)
+
+
+def _run():
+    return run_fig9_factor_k(dataset_names=FIG_DATASETS, k_values=K_VALUES)
+
+
+def test_fig9_factor_k(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("fig9_factor_k", table.render())
+
+    for row in table.rows:
+        k1 = table.get(row, "k=1")
+        others = [
+            table.get(row, c)
+            for c in table.columns
+            if c != "k=1" and table.get(row, c).ok
+        ]
+        assert others, f"DRL_b failed for k>1 on {row}"
+        fastest = min(cell.value for cell in others)
+        slowest = max(cell.value for cell in others)
+        # Flat for k > 1 (paper: ratio <= 1.4; we allow simulator slack).
+        assert slowest / fastest < 3.0, f"k>1 not flat on {row}"
+        # k = 1 is drastically slower (or hits the cut-off outright).
+        if k1.ok:
+            assert k1.value > 2.0 * fastest, f"k=1 not penalised on {row}"
+
+
+if __name__ == "__main__":
+    print(_run().render())

@@ -1,0 +1,88 @@
+"""Micro-benchmarks: wall-clock throughput of the core primitives.
+
+Unlike the table/figure benchmarks (which report deterministic
+*simulated* seconds), these measure real Python performance of the
+hottest code paths, using pytest-benchmark's statistics properly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bfl import build_bfl
+from repro.core.labels import ReachabilityIndex
+from repro.core.tol import tol_index
+from repro.graph.generators import social_graph, web_graph
+from repro.graph.order import degree_order
+from repro.graph.traversal import trimmed_bfs
+from repro.workloads.queries import random_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_graph(2000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def order(graph):
+    return degree_order(graph)
+
+
+@pytest.fixture(scope="module")
+def index(graph, order) -> ReachabilityIndex:
+    return tol_index(graph, order)
+
+
+def test_bench_degree_order(benchmark, graph):
+    benchmark(degree_order, graph)
+
+
+def test_bench_trimmed_bfs(benchmark, graph, order):
+    # Source 50 is a mid-order vertex with a non-trivial frontier.
+    benchmark(trimmed_bfs, graph, 50, order)
+
+
+def test_bench_tol_build(benchmark, order):
+    small = social_graph(600, seed=9)
+    small_order = degree_order(small)
+    benchmark(tol_index, small, small_order)
+
+
+def test_bench_index_queries(benchmark, graph, index):
+    pairs = random_pairs(graph.num_vertices, 10_000, seed=1)
+
+    def run():
+        hits = 0
+        for s, t in pairs:
+            hits += index.query(s, t)
+        return hits
+
+    benchmark(run)
+
+
+def test_bench_bfl_build(benchmark, graph):
+    benchmark(build_bfl, graph)
+
+
+def test_bench_bfl_queries(benchmark, graph):
+    bfl = build_bfl(graph)
+    pairs = random_pairs(graph.num_vertices, 2_000, seed=2)
+
+    def run():
+        hits = 0
+        for s, t in pairs:
+            hits += bfl.query(s, t)
+        return hits
+
+    benchmark(run)
+
+
+def test_bench_index_serialization(benchmark, index, tmp_path):
+    path = tmp_path / "index.bin"
+
+    def run():
+        index.save(path)
+        return ReachabilityIndex.load(path)
+
+    reloaded = benchmark(run)
+    assert reloaded == index

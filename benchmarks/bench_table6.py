@@ -1,0 +1,51 @@
+"""Table VI (Exps 1-3): BFL^C / BFL^D / TOL / DRL_b / DRL_b^M on all
+18 datasets — index time, index size, and query time.
+
+Expected shape (paper): DRL_b beats TOL by up to ~9x and indexes every
+graph; TOL / BFL^C / DRL_b^M are unavailable ("-") on graphs that do
+not fit one machine; BFL^D indexes everything but is an order of
+magnitude slower than DRL_b and far slower at query time; TOL, DRL_b
+and DRL_b^M share one index (identical size and query time).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.bench import run_table6
+
+
+def _run():
+    return run_table6(num_queries=300)
+
+
+def test_table6(benchmark):
+    time_table, size_table, query_table = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    rendered = "\n\n".join(
+        t.render() for t in (time_table, size_table, query_table)
+    )
+    save_and_print("table6", rendered)
+
+    # Shape assertions from the paper's findings.
+    for row in time_table.rows:
+        tol = time_table.get(row, "TOL")
+        drlb = time_table.get(row, "DRL_b")
+        assert drlb.ok, f"DRL_b must index every graph ({row})"
+        if tol.ok:
+            assert drlb.value <= tol.value, f"DRL_b slower than TOL on {row}"
+        bfd = time_table.get(row, "BFL^D")
+        assert bfd.ok and bfd.value > drlb.value
+        # Same index => same size and query time as TOL.
+        if size_table.get(row, "TOL").ok:
+            assert (
+                size_table.get(row, "TOL").value
+                == size_table.get(row, "DRL_b").value
+            )
+
+
+if __name__ == "__main__":
+    for table in _run():
+        print(table.render())
+        print()

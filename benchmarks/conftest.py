@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set REPRO_BENCH_FAST=1 to restrict figure benchmarks to two medium
+#: datasets (quick smoke run instead of full fidelity).
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+FIG_DATASETS = ("WEBW", "CITP") if FAST else None
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

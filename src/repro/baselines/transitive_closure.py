@@ -1,0 +1,67 @@
+"""Exact transitive closure — the ground-truth reachability oracle.
+
+Stores one bitset of descendants per SCC of the condensation, computed
+by a reverse-topological sweep with big-int bitwise ORs.  ``O(n²/64)``
+space, so meant for tests and small/medium graphs (the paper's Related
+Work explains why TC does not scale as an index).
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation
+
+
+class TransitiveClosure:
+    """Answers ``s → t`` exactly for every pair."""
+
+    def __init__(self, graph: DiGraph):
+        self._n = graph.num_vertices
+        cond = condensation(graph)
+        self._component_of = cond.component_of
+        dag = cond.dag
+        # Tarjan emits components in reverse topological order: every
+        # out-neighbor of component c is emitted before c, so a single
+        # forward sweep accumulates full descendant bitsets.
+        num_components = dag.num_vertices
+        closure = [0] * num_components
+        for c in range(num_components):
+            bits = 1 << c
+            for d in dag.out_neighbors(c):
+                bits |= closure[d]
+            closure[c] = bits
+        self._closure = closure
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered."""
+        return self._n
+
+    def query(self, s: int, t: int) -> bool:
+        """True iff ``s`` can reach ``t`` (every vertex reaches itself)."""
+        cs = self._component_of[s]
+        ct = self._component_of[t]
+        return bool(self._closure[cs] >> ct & 1)
+
+    def descendants(self, v: int) -> set[int]:
+        """``DES(v)`` including ``v`` itself."""
+        bits = self._closure[self._component_of[v]]
+        component_of = self._component_of
+        return {w for w in range(self._n) if bits >> component_of[w] & 1}
+
+    def reachable_pairs(self) -> int:
+        """Number of ordered pairs ``(s, t)`` with ``s → t``."""
+        component_sizes = [0] * len(self._closure)
+        for v in range(self._n):
+            component_sizes[self._component_of[v]] += 1
+        total = 0
+        for c, bits in enumerate(self._closure):
+            reachable = 0
+            d = 0
+            while bits:
+                if bits & 1:
+                    reachable += component_sizes[d]
+                bits >>= 1
+                d += 1
+            total += component_sizes[c] * reachable
+        return total

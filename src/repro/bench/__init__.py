@@ -1,0 +1,28 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from repro.bench.harness import (
+    run_ablation_check_pruning,
+    run_ablation_orders,
+    run_ablation_partitioners,
+    run_fig5_comm_comp,
+    run_fig6_speedup,
+    run_fig7_scalability,
+    run_fig8_batch_size,
+    run_fig9_factor_k,
+    run_table6,
+)
+from repro.bench.results import Cell, ExperimentTable
+
+__all__ = [
+    "Cell",
+    "ExperimentTable",
+    "run_ablation_check_pruning",
+    "run_ablation_orders",
+    "run_ablation_partitioners",
+    "run_fig5_comm_comp",
+    "run_fig6_speedup",
+    "run_fig7_scalability",
+    "run_fig8_batch_size",
+    "run_fig9_factor_k",
+    "run_table6",
+]

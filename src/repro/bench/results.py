@@ -1,0 +1,134 @@
+"""Result containers and paper-style text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One measurement: a value, or a failure marker.
+
+    ``"-"`` means unavailable (out of memory at paper scale, Table VI);
+    ``"INF"`` means the simulated cut-off was exceeded.
+    """
+
+    value: float | None = None
+    marker: str | None = None
+
+    @classmethod
+    def unavailable(cls) -> "Cell":
+        return cls(marker="-")
+
+    @classmethod
+    def timeout(cls) -> "Cell":
+        return cls(marker="INF")
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell holds a real measurement."""
+        return self.marker is None
+
+    def format(self, precision: int = 4, scientific: bool = False) -> str:
+        if self.marker is not None:
+            return self.marker
+        if self.value is None:
+            return ""
+        if scientific:
+            return f"{self.value:.2e}"
+        return f"{self.value:.{precision}f}"
+
+
+@dataclass
+class ExperimentTable:
+    """A named grid of cells keyed by (row, column)."""
+
+    title: str
+    columns: list[str]
+    rows: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, str], Cell] = field(default_factory=dict)
+    scientific: bool = False
+    precision: int = 4
+
+    def set(self, row: str, column: str, cell: Cell | float) -> None:
+        """Record a measurement (floats are wrapped automatically)."""
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        if row not in self.rows:
+            self.rows.append(row)
+        if not isinstance(cell, Cell):
+            cell = Cell(value=float(cell))
+        self.cells[(row, column)] = cell
+
+    def get(self, row: str, column: str) -> Cell:
+        """Fetch a cell (empty cell when missing)."""
+        return self.cells.get((row, column), Cell())
+
+    def column_values(self, column: str) -> list[float]:
+        """All real (non-marker) values in one column, row order."""
+        return [
+            cell.value
+            for row in self.rows
+            if (cell := self.get(row, column)).ok and cell.value is not None
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering in the style of the paper's tables."""
+        header = ["Name"] + list(self.columns)
+        body = [
+            [row]
+            + [
+                self.get(row, col).format(self.precision, self.scientific)
+                for col in self.columns
+            ]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in [header] + body)
+            for i in range(len(header))
+        ]
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append(rule)
+        for line in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown table."""
+        header = ["Name"] + list(self.columns)
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in self.rows:
+            cells = [row] + [
+                self.get(row, col).format(self.precision, self.scientific)
+                for col in self.columns
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV with markers rendered as empty cells plus a marker column
+        convention: failed cells contain their marker string."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["name"] + list(self.columns))
+        for row in self.rows:
+            out = [row]
+            for col in self.columns:
+                cell = self.get(row, col)
+                if cell.marker is not None:
+                    out.append(cell.marker)
+                elif cell.value is None:
+                    out.append("")
+                else:
+                    out.append(repr(cell.value))
+            writer.writerow(out)
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.render()

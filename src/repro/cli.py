@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``datasets`` — list the Table V dataset stand-ins.
+- ``generate`` — write a synthetic graph as an edge list.
+- ``build`` — build a reachability index from an edge list.
+- ``query`` — answer reachability queries from a saved index.
+- ``info`` — describe a saved index.
+- ``bench`` — run one paper experiment and print its table(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.build import METHOD_NAMES, build_index
+from repro.core.labels import ReachabilityIndex
+from repro.graph import generators
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.pregel.cost_model import paper_scale_model
+from repro.workloads.datasets import DATASETS
+
+_GENERATORS = {
+    "web": generators.web_graph,
+    "social": generators.social_graph,
+    "citation": generators.citation_graph,
+    "knowledge": generators.knowledge_graph,
+    "random": lambda n, seed: generators.random_digraph(n, 4 * n, seed=seed),
+    "dag": lambda n, seed: generators.random_dag(n, 3 * n, seed=seed),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reachability Labeling for Distributed Graphs (ICDE 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table V dataset stand-ins")
+
+    generate = sub.add_parser("generate", help="write a synthetic edge list")
+    generate.add_argument("output", type=Path)
+    generate.add_argument("--kind", choices=sorted(_GENERATORS), default="social")
+    generate.add_argument("--vertices", "-n", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+
+    build = sub.add_parser("build", help="build an index from an edge list")
+    build.add_argument("graph", type=Path)
+    build.add_argument("--output", "-o", type=Path, required=True)
+    build.add_argument("--method", choices=sorted(METHOD_NAMES), default="drl-b")
+    build.add_argument("--nodes", type=int, default=32)
+    build.add_argument("--batch-size", type=float, default=2)
+    build.add_argument("--growth-factor", type=float, default=2.0)
+
+    query = sub.add_parser("query", help="answer queries from a saved index")
+    query.add_argument("index", type=Path)
+    query.add_argument("source", type=int, nargs="?")
+    query.add_argument("target", type=int, nargs="?")
+    query.add_argument(
+        "--pairs", type=Path, help="file of whitespace-separated s t pairs"
+    )
+
+    info = sub.add_parser("info", help="describe a saved index")
+    info.add_argument("index", type=Path)
+
+    analyze = sub.add_parser("analyze", help="structural stats of a graph")
+    analyze.add_argument("graph", type=Path)
+
+    validate = sub.add_parser(
+        "validate", help="check an index against its graph"
+    )
+    validate.add_argument("graph", type=Path)
+    validate.add_argument("index", type=Path)
+    validate.add_argument(
+        "--sample", type=int, default=None,
+        help="check this many random pairs instead of all pairs",
+    )
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument(
+        "experiment",
+        choices=["table6", "fig5", "fig6", "fig7", "fig8", "fig9"],
+    )
+    bench.add_argument("--datasets", nargs="*", default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+def _cmd_datasets(args) -> int:
+    print(f"{'name':6} {'type':10} {'paper |V|':>12} {'paper |E|':>14} medium")
+    for spec in DATASETS.values():
+        print(
+            f"{spec.name:6} {spec.kind:10} {spec.paper_vertices:>12,} "
+            f"{spec.paper_edges:>14,} {'yes' if spec.medium else ''}"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    factory = _GENERATORS[args.kind]
+    graph = factory(args.vertices, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    if not args.graph.exists():
+        print(f"error: no such file: {args.graph}", file=sys.stderr)
+        return 2
+    graph = read_edge_list(args.graph)
+    kwargs = {}
+    if args.method == "drl-b":
+        kwargs = dict(
+            initial_batch_size=args.batch_size, growth_factor=args.growth_factor
+        )
+    result = build_index(
+        graph, method=args.method, num_nodes=args.nodes, **kwargs
+    )
+    result.index.save(args.output)
+    print(f"built {args.method} index for n={graph.num_vertices} "
+          f"m={graph.num_edges}")
+    print(f"  entries: {result.index.num_entries}  "
+          f"size: {result.index.size_bytes() / 1024:.1f} KiB  "
+          f"delta: {result.index.largest_label}")
+    print(f"  {result.stats.summary()}")
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    if not args.index.exists():
+        print(f"error: no such file: {args.index}", file=sys.stderr)
+        return 2
+    index = ReachabilityIndex.load(args.index)
+    if args.pairs is not None:
+        pairs = [
+            tuple(map(int, line.split()[:2]))
+            for line in args.pairs.read_text().splitlines()
+            if line.strip()
+        ]
+    elif args.source is not None and args.target is not None:
+        pairs = [(args.source, args.target)]
+    else:
+        print("error: give SOURCE TARGET or --pairs FILE", file=sys.stderr)
+        return 2
+    for s, t in pairs:
+        if not (0 <= s < index.num_vertices and 0 <= t < index.num_vertices):
+            print(f"{s} {t} out-of-range")
+            continue
+        print(f"{s} {t} {'reachable' if index.query(s, t) else 'unreachable'}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if not args.index.exists():
+        print(f"error: no such file: {args.index}", file=sys.stderr)
+        return 2
+    index = ReachabilityIndex.load(args.index)
+    print(f"vertices:      {index.num_vertices}")
+    print(f"label entries: {index.num_entries}")
+    print(f"size:          {index.size_bytes() / 1024:.1f} KiB")
+    print(f"largest label: {index.largest_label}")
+    print(f"average label: {index.average_label:.2f}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if not args.graph.exists():
+        print(f"error: no such file: {args.graph}", file=sys.stderr)
+        return 2
+    from repro.graph.analysis import bowtie_decomposition, degree_summary
+    from repro.graph.scc import strongly_connected_components
+
+    graph = read_edge_list(args.graph)
+    print(f"vertices: {graph.num_vertices}   edges: {graph.num_edges}")
+    stats = degree_summary(graph)
+    print(f"degrees:  max in {stats['max_in']}, max out {stats['max_out']}, "
+          f"mean {stats['mean_degree']:.2f}")
+    print(f"hub concentration: top-1% vertices hold "
+          f"{stats['top1_in_share']:.0%} of in-degree")
+    components = strongly_connected_components(graph)
+    nontrivial = sum(1 for c in components if len(c) > 1)
+    print(f"SCCs: {len(components)} ({nontrivial} non-trivial)")
+    print(f"bow-tie: {bowtie_decomposition(graph).summary()}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    for path in (args.graph, args.index):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+    from repro.core.validate import check_cover, check_soundness
+
+    graph = read_edge_list(args.graph)
+    index = ReachabilityIndex.load(args.index)
+    cover = check_cover(index, graph, sample=args.sample)
+    soundness = check_soundness(index, graph)
+    print(f"cover:     {cover.checked} pairs checked, "
+          f"{'OK' if cover.ok else 'FAILED'}")
+    print(f"soundness: {soundness.checked} entries checked, "
+          f"{'OK' if soundness.ok else 'FAILED'}")
+    for violation in (cover.violations + soundness.violations)[:10]:
+        print(f"  violation: {violation}")
+    return 0 if cover.ok and soundness.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import harness
+
+    names = args.datasets
+    model = paper_scale_model()
+    if args.experiment == "table6":
+        tables = harness.run_table6(dataset_names=names, cost_model=model)
+    elif args.experiment == "fig5":
+        tables = (harness.run_fig5_comm_comp(names, cost_model=model),)
+    elif args.experiment == "fig6":
+        tables = tuple(
+            harness.run_fig6_speedup(names, cost_model=model).values()
+        )
+    elif args.experiment == "fig7":
+        tables = tuple(
+            harness.run_fig7_scalability(names, cost_model=model).values()
+        )
+    elif args.experiment == "fig8":
+        tables = (harness.run_fig8_batch_size(names, cost_model=model),)
+    else:
+        tables = (harness.run_fig9_factor_k(names, cost_model=model),)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "info": _cmd_info,
+    "analyze": _cmd_analyze,
+    "validate": _cmd_validate,
+    "bench": _cmd_bench,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Backward label sets and the filtering-and-refinement framework.
+
+Pure-function implementations of the paper's three characterisations of
+``L⁻_in(v) = {w | v ∈ L_in(w)}`` (Definition 4):
+
+- Theorem 2 (naive):    ``DES(v) − ∪_{u ∈ DES_hig(v)} DES(u)``
+- Theorem 3 (basic):    ``BFS_low(v) − ∪_{u ∈ BFS_hig(v)} DES(u)``
+- Theorem 4 (improved): ``BFS_low(v) − {w | ∃u ∈ IBFS_low(v),
+  w ∈ BFS_low(u)}``
+
+These serve as independent oracles for the distributed algorithms and
+as readable statements of the theory.  ``L⁻_out`` is obtained by
+applying the same functions to the inverse graph.
+
+Note on ``IBFS_low`` (Definition 6): a trimmed BFS trivially visits its
+own source, so the literal definition would put ``v`` in its own
+inverted list and Theorem 4's refinement would then eliminate
+everything.  As in the paper's Algorithm 3 (where a source never
+processes its own message), the inverted lists here exclude the source
+itself.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.order import VertexOrder
+from repro.graph.traversal import reachable_set, trimmed_bfs
+
+
+def higher_order_descendants(
+    graph: DiGraph, v: int, order: VertexOrder
+) -> set[int]:
+    """``DES_hig(v)``: descendants with order higher than ``v`` (Def. 5)."""
+    return {u for u in reachable_set(graph, v) if order.higher(u, v)}
+
+
+def backward_in_labels_naive(
+    graph: DiGraph, v: int, order: VertexOrder
+) -> set[int]:
+    """Theorem 2: filter with ``DES(v)``, refine with ``DES_hig(v)``."""
+    candidates = reachable_set(graph, v)
+    for u in higher_order_descendants(graph, v, order):
+        candidates -= reachable_set(graph, u)
+    return candidates
+
+
+def backward_in_labels_basic(
+    graph: DiGraph, v: int, order: VertexOrder
+) -> set[int]:
+    """Theorem 3: filter with ``BFS_low(v)``, refine with ``BFS_hig(v)``."""
+    result = trimmed_bfs(graph, v, order)
+    candidates = set(result.low)
+    for u in result.high:
+        candidates -= reachable_set(graph, u)
+    return candidates
+
+
+def backward_in_labels_improved(
+    graph: DiGraph, order: VertexOrder
+) -> dict[int, set[int]]:
+    """Theorem 4 for *all* vertices: refinement via inverted lists.
+
+    Returns ``{v: L⁻_in(v)}``.  Unlike the naive and basic variants this
+    is an all-sources computation, because the inverted lists couple the
+    vertices together.
+    """
+    n = graph.num_vertices
+    reverse = graph.reverse()
+    forward_low = [set(trimmed_bfs(graph, v, order).low) for v in range(n)]
+    inverted: list[list[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        for w in trimmed_bfs(reverse, u, order).low:
+            if w != u:  # see the module docstring on self-visits
+                inverted[w].append(u)
+    backward: dict[int, set[int]] = {}
+    for v in range(n):
+        eliminated: set[int] = set()
+        for u in inverted[v]:
+            eliminated |= forward_low[u]
+        backward[v] = forward_low[v] - eliminated
+    return backward
+
+
+def backward_label_sets(
+    graph: DiGraph, order: VertexOrder
+) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+    """Both backward directions for all vertices, via Theorem 4.
+
+    Returns ``(backward_in, backward_out)``; the out direction is the
+    in direction of the inverse graph.
+    """
+    backward_in = backward_in_labels_improved(graph, order)
+    backward_out = backward_in_labels_improved(graph.reverse(), order)
+    return backward_in, backward_out

@@ -1,0 +1,75 @@
+"""One-call façade over every index construction method."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.drl import drl_index
+from repro.core.drl_basic import drl_basic_index
+from repro.core.drl_batch import drl_batch_index
+from repro.core.labels import LabelingResult
+from repro.core.multicore import drl_multicore_index
+from repro.core.tol import tol_index
+from repro.graph.digraph import DiGraph
+from repro.graph.order import VertexOrder
+from repro.pregel.serial import SerialMeter
+
+
+def _tol_result(graph, order=None, num_nodes=1, cost_model=None, **_) -> LabelingResult:
+    meter = SerialMeter(cost_model)
+    index = tol_index(graph, order=order, meter=meter)
+    return LabelingResult(index=index, stats=meter.stats())
+
+
+_METHODS: dict[str, Callable[..., LabelingResult]] = {
+    "tol": _tol_result,
+    "drl-": drl_basic_index,
+    "drl": drl_index,
+    "drl-b": drl_batch_index,
+    "drl-b-m": lambda graph, num_nodes=32, **kw: drl_multicore_index(
+        graph, num_cores=num_nodes, **kw
+    ),
+}
+
+
+def build_index(
+    graph: DiGraph,
+    method: str = "drl-b",
+    order: VertexOrder | None = None,
+    num_nodes: int = 32,
+    **kwargs,
+) -> LabelingResult:
+    """Build a TOL-identical reachability index with the chosen method.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (cyclic allowed).
+    method:
+        One of ``"tol"`` (serial Algorithm 1), ``"drl-"`` (Theorem 3),
+        ``"drl"`` (Algorithm 3), ``"drl-b"`` (Algorithm 4, the paper's
+        best), or ``"drl-b-m"`` (multi-core DRL_b).
+    order:
+        Vertex order; defaults to the paper's degree-based order.
+    num_nodes:
+        Simulated cluster size (cores, for ``"drl-b-m"``); ignored by
+        ``"tol"``.
+    kwargs:
+        Method-specific options (``cost_model``, ``partitioner``,
+        ``initial_batch_size``, ``growth_factor``, ...).
+
+    Returns
+    -------
+    LabelingResult
+        The index (identical across all methods) plus run statistics.
+    """
+    try:
+        builder = _METHODS[method]
+    except KeyError:
+        known = ", ".join(sorted(_METHODS))
+        raise ValueError(f"unknown method {method!r}; choose one of: {known}")
+    return builder(graph, order=order, num_nodes=num_nodes, **kwargs)
+
+
+METHOD_NAMES = tuple(sorted(_METHODS))
+"""All method names accepted by :func:`build_index`."""

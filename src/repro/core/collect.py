@@ -1,0 +1,59 @@
+"""Collecting the distributed index onto one machine.
+
+After labeling, the paper collects every vertex's label sets "on one
+machine to obtain an index the same as TOL to support reachability
+queries" (end of Section III-D), which is viable precisely because the
+TOL index is small (their SK example: ≤ 1 GB for billions of edges).
+This module models that gather step: its network cost, and whether the
+collected index fits the query machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.labels import ReachabilityIndex
+from repro.pregel.cost_model import CostModel
+
+
+@dataclass(frozen=True)
+class CollectionPlan:
+    """Cost estimate for gathering a distributed index on one node.
+
+    Attributes
+    ----------
+    total_bytes:
+        Bytes shipped to the collector (the full index, minus the share
+        already resident on the collecting node).
+    seconds:
+        Simulated gather time: payload at ``t_byte`` plus one barrier.
+    fits_in_memory:
+        Whether the collected index respects the node's memory budget.
+    """
+
+    total_bytes: int
+    seconds: float
+    fits_in_memory: bool
+
+
+def plan_collection(
+    index: ReachabilityIndex,
+    num_nodes: int,
+    cost_model: CostModel | None = None,
+) -> CollectionPlan:
+    """Estimate the cost of gathering ``index`` from ``num_nodes`` nodes.
+
+    A hash-partitioned index is spread evenly, so the collector already
+    holds ``1/num_nodes`` of it; the rest crosses the network once.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    if cost_model is None:
+        cost_model = CostModel()
+    index_bytes = index.size_bytes(cost_model.entry_bytes)
+    shipped = 0 if num_nodes == 1 else index_bytes * (num_nodes - 1) // num_nodes
+    seconds = shipped * cost_model.t_byte + cost_model.t_barrier
+    fits = index_bytes <= cost_model.node_memory_bytes
+    return CollectionPlan(
+        total_bytes=shipped, seconds=seconds, fits_in_memory=fits
+    )

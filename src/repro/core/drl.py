@@ -1,0 +1,289 @@
+"""DRL — distributed reachability labeling (Algorithm 3).
+
+One vertex-centric program floods *trimmed BFSs from every source at
+once*, in both directions simultaneously:
+
+- forward messages follow out-edges of ``G`` and compute the backward
+  in-label sets (``fwd_set[w]`` ends up equal to ``L_in(w)``);
+- reverse messages follow in-edges (i.e. run on ``Ḡ``) and compute the
+  backward out-label sets (``rev_set[w]`` ends up equal to ``L_out(w)``).
+
+Each direction's *inverted lists* (Definition 6) are the other
+direction's visitor lists: ``IBFS_low(w) = rev_list[w]`` refines the
+forward direction, and ``fwd_list[w]`` refines the reverse direction.
+The lists are shared cluster-wide (``publish_entries`` charges the
+replication traffic, Lemma 7) with BSP visibility: a ``Check`` during
+super-step ``s`` sees entries published at barrier ``s - 1``; the exact
+post-pass (Alg. 3 lines 19-20) then removes every survivor that a fully
+published ``Check`` eliminates.
+
+The same program, parameterized with batch label sets and a restricted
+source set, implements a DRL_b batch (Algorithm 4); see
+:mod:`repro.core.drl_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.labels import LabelingResult, ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.order import VertexOrder, degree_order
+from repro.graph.partition import Partitioner
+from repro.pregel.cost_model import CostModel
+from repro.pregel.engine import Cluster, ComputeContext, FinalizeContext
+from repro.pregel.vertex_program import VertexProgram
+
+FORWARD = 0
+REVERSE = 1
+
+
+class DrlFloodProgram(VertexProgram):
+    """All-sources bidirectional trimmed-BFS flooding with refinement.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    order:
+        Total vertex order.
+    sources:
+        Vertices that initiate BFSs this run (a DRL_b batch); ``None``
+        labels every vertex (plain DRL).
+    in_label_sets / out_label_sets:
+        Accumulated batch label sets ``L^{V_i}_in`` / ``L^{V_i}_out``
+        from previous batches, used for Algorithm 4's pruning; ``None``
+        disables batch pruning (plain DRL).
+    check_pruning:
+        Apply the opportunistic ``Check`` prune during the flood
+        (Alg. 3 line 14).  Disabling it only costs work — the final
+        cleanup still produces the exact index — and is exposed for the
+        ablation benchmark.
+    combine_messages:
+        Enable the Pregel message combiner (drop duplicate messages per
+        sending node per super-step).  Sound here because duplicate
+        ``(source, direction)`` deliveries are no-ops; exposed for the
+        combiner ablation.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        order: VertexOrder,
+        sources: Sequence[int] | None = None,
+        in_label_sets: list[set[int]] | None = None,
+        out_label_sets: list[set[int]] | None = None,
+        check_pruning: bool = True,
+        combine_messages: bool = False,
+    ):
+        self.combine_duplicates = combine_messages
+        n = graph.num_vertices
+        self._graph = graph
+        self._rank = order.ranks
+        self._check_pruning = check_pruning
+        self._in_label_sets = in_label_sets
+        self._out_label_sets = out_label_sets
+        if sources is None:
+            self._is_source = None
+        else:
+            self._is_source = bytearray(n)
+            for v in sources:
+                self._is_source[v] = 1
+        # Local visit status (w's own state; self-marked for sources).
+        self.fwd_set: list[set[int]] = [set() for _ in range(n)]
+        self.rev_set: list[set[int]] = [set() for _ in range(n)]
+        # Published visitor lists for remote Check() reads (no self-marks).
+        self._fwd_list: list[list[int]] = [[] for _ in range(n)]
+        self._rev_list: list[list[int]] = [[] for _ in range(n)]
+        self._fwd_pub = [0] * n
+        self._rev_pub = [0] * n
+        self._dirty_fwd: set[int] = set()
+        self._dirty_rev: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def compute(self, ctx: ComputeContext, w: int, messages) -> None:
+        if ctx.superstep == 1:
+            self._start_source(ctx, w)
+            return
+        for source, direction in messages:
+            if direction == FORWARD:
+                self._process(ctx, w, source, FORWARD)
+            else:
+                self._process(ctx, w, source, REVERSE)
+
+    def _start_source(self, ctx: ComputeContext, v: int) -> None:
+        if self._is_source is not None and not self._is_source[v]:
+            return
+        ctx.charge()
+        if self._in_label_sets is not None:
+            # Alg. 4 line 6: a higher-order vertex closes a cycle
+            # through v, so every backward set of v is empty — skip.
+            if self._labels_intersect(
+                ctx, self._out_label_sets[v], self._in_label_sets[v]
+            ):
+                return
+            # Alg. 4 line 8: share v's batch label sets cluster-wide.
+            ctx.publish_entries(
+                len(self._in_label_sets[v]) + len(self._out_label_sets[v])
+            )
+        self.fwd_set[v].add(v)
+        self.rev_set[v].add(v)
+        graph = self._graph
+        for x in graph.out_neighbors(v):
+            ctx.charge()
+            ctx.send(x, (v, FORWARD))
+        for x in graph.in_neighbors(v):
+            ctx.charge()
+            ctx.send(x, (v, REVERSE))
+
+    def _process(self, ctx: ComputeContext, w: int, v: int, direction: int) -> None:
+        if direction == FORWARD:
+            status, lists = self.fwd_set, self._fwd_list
+            dirty = self._dirty_fwd
+        else:
+            status, lists = self.rev_set, self._rev_list
+            dirty = self._dirty_rev
+        if v in status[w]:
+            return  # visited before (Alg. 3 line 12)
+        if self._rank[v] >= self._rank[w]:
+            return  # ord(v) < ord(w): w blocks this branch (trimmed BFS)
+        if self._in_label_sets is not None and self._batch_pruned(
+            ctx, w, v, direction
+        ):
+            return  # a previous batch's vertex lies on the v-w walk
+        if self._check_pruning and self._check(ctx, w, v, direction):
+            return  # Alg. 3 line 14: a current-run vertex lies on it
+        status[w].add(v)
+        lists[w].append(v)
+        dirty.add(w)
+        ctx.publish_entries()  # replicate the new inverted-list entry
+        graph = self._graph
+        neighbors = (
+            graph.out_neighbors(w) if direction == FORWARD else graph.in_neighbors(w)
+        )
+        for x in neighbors:
+            ctx.charge()
+            ctx.send(x, (v, direction))
+
+    def _labels_intersect(self, ctx, a: set[int], b: set[int]) -> bool:
+        if len(b) < len(a):
+            a, b = b, a
+        ctx.charge(len(a) + 1)
+        return any(x in b for x in a)
+
+    def _batch_pruned(self, ctx, w: int, v: int, direction: int) -> bool:
+        """Alg. 4 line 12: is a previous-batch vertex on the v-w walk?"""
+        if direction == FORWARD:
+            return self._labels_intersect(
+                ctx, self._out_label_sets[v], self._in_label_sets[w]
+            )
+        return self._labels_intersect(
+            ctx, self._in_label_sets[v], self._out_label_sets[w]
+        )
+
+    def _check(self, ctx, w: int, v: int, direction: int) -> bool:
+        """Procedure Check(v, w): BSP-visible inverted-list refinement."""
+        if direction == FORWARD:
+            inverted, limit = self._rev_list[v], self._rev_pub[v]
+            local = self.fwd_set[w]
+        else:
+            inverted, limit = self._fwd_list[v], self._fwd_pub[v]
+            local = self.rev_set[w]
+        ctx.charge(limit + 1)
+        for i in range(limit):
+            if inverted[i] in local:
+                return True
+        return False
+
+    def on_barrier(self, superstep: int) -> None:
+        # Publish this super-step's new inverted-list entries.
+        for w in self._dirty_fwd:
+            self._fwd_pub[w] = len(self._fwd_list[w])
+        for w in self._dirty_rev:
+            self._rev_pub[w] = len(self._rev_list[w])
+        self._dirty_fwd.clear()
+        self._dirty_rev.clear()
+
+    def finalize(self, fctx: FinalizeContext) -> None:
+        """Alg. 3 lines 19-20: exact cleanup on fully published lists.
+
+        In-place removal is sound: an eliminated pair always has a
+        *maximal* witness (the highest-order vertex on any v-w walk),
+        and a maximal witness can never itself be eliminated, so later
+        Checks never miss their witness.
+        """
+        for w in range(self._graph.num_vertices):
+            self._cleanup_vertex(fctx, w, self.fwd_set[w], self._rev_list)
+            self._cleanup_vertex(fctx, w, self.rev_set[w], self._fwd_list)
+
+    @staticmethod
+    def _cleanup_vertex(
+        fctx: FinalizeContext,
+        w: int,
+        local: set[int],
+        inverted: list[list[int]],
+    ) -> None:
+        for v in sorted(local):
+            witnesses = inverted[v]
+            fctx.charge(w, len(witnesses) + 1)
+            for u in witnesses:
+                if u in local:
+                    local.discard(v)
+                    break
+
+
+def inverted_list_stats(
+    graph: DiGraph,
+    order: VertexOrder | None = None,
+    num_nodes: int = 32,
+    cost_model: CostModel | None = None,
+) -> dict[str, float]:
+    """Measure the inverted lists' sizes after a DRL run.
+
+    Reproduces the paper's Section III-D remark: "the average size of
+    ``IBFS_low(v)`` of each vertex ``v`` is less than one", which is why
+    sharing the lists is cheap (Lemma 7).  Returns average and maximum
+    sizes for both directions' lists.
+    """
+    if order is None:
+        order = degree_order(graph)
+    program = DrlFloodProgram(graph, order)
+    Cluster(num_nodes=num_nodes, cost_model=cost_model).run(graph, program)
+    n = max(1, graph.num_vertices)
+    rev_sizes = [len(lst) for lst in program._rev_list]
+    fwd_sizes = [len(lst) for lst in program._fwd_list]
+    return {
+        "avg_ibfs": sum(rev_sizes) / n,
+        "max_ibfs": max(rev_sizes, default=0),
+        "avg_forward": sum(fwd_sizes) / n,
+        "max_forward": max(fwd_sizes, default=0),
+    }
+
+
+def drl_index(
+    graph: DiGraph,
+    order: VertexOrder | None = None,
+    num_nodes: int = 32,
+    cost_model: CostModel | None = None,
+    partitioner: Partitioner | None = None,
+    check_pruning: bool = True,
+    combine_messages: bool = False,
+) -> LabelingResult:
+    """Build the TOL index with DRL (Algorithm 3) on a simulated cluster.
+
+    Returns the index together with the run's cost accounting.
+    """
+    if order is None:
+        order = degree_order(graph)
+    program = DrlFloodProgram(
+        graph,
+        order,
+        check_pruning=check_pruning,
+        combine_messages=combine_messages,
+    )
+    cluster = Cluster(
+        num_nodes=num_nodes, cost_model=cost_model, partitioner=partitioner
+    )
+    stats = cluster.run(graph, program)
+    index = ReachabilityIndex.from_label_lists(program.fwd_set, program.rev_set)
+    return LabelingResult(index=index, stats=stats)

@@ -1,0 +1,120 @@
+"""Index validation utilities.
+
+Library-grade checks a downstream user can run against any index —
+their own, a loaded one, or one produced by a modified algorithm:
+
+- :func:`check_cover` — the cover constraint (Definition 3) against
+  exact reachability, for all pairs or a sample.
+- :func:`check_soundness` — every label entry corresponds to a real
+  reachability relation (necessary for any correct index).
+- :func:`check_canonical` — the index is *exactly* TOL's under a given
+  order (Theorem 1's characterisation), i.e. no redundant entries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.labels import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.order import VertexOrder
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record a violation (keeps at most 20 messages)."""
+        if len(self.violations) < 20:
+            self.violations.append(message)
+        else:  # pragma: no cover - overflow marker
+            self.violations[-1] = "... more violations suppressed"
+
+
+def check_cover(
+    index: ReachabilityIndex,
+    graph: DiGraph,
+    sample: int | None = None,
+    seed: int = 0,
+) -> ValidationReport:
+    """Verify ``q(s, t) ⇔ s → t`` for all pairs (or a random sample)."""
+    if index.num_vertices != graph.num_vertices:
+        report = ValidationReport()
+        report.add("index and graph disagree on the vertex count")
+        return report
+    oracle = TransitiveClosure(graph)
+    n = graph.num_vertices
+    report = ValidationReport()
+    if sample is None:
+        pairs = ((s, t) for s in range(n) for t in range(n))
+    else:
+        rng = random.Random(seed)
+        pairs = (
+            (rng.randrange(n), rng.randrange(n)) for _ in range(sample)
+        )
+    for s, t in pairs:
+        report.checked += 1
+        expected = oracle.query(s, t)
+        if index.query(s, t) != expected:
+            verb = "misses" if expected else "fabricates"
+            report.add(f"query({s}, {t}) {verb} reachability")
+    return report
+
+
+def check_soundness(index: ReachabilityIndex, graph: DiGraph) -> ValidationReport:
+    """Verify every label entry encodes a true reachability relation:
+    ``u ∈ L_in(w) ⇒ u → w`` and ``u ∈ L_out(w) ⇒ w → u``."""
+    oracle = TransitiveClosure(graph)
+    report = ValidationReport()
+    for w in range(index.num_vertices):
+        for u in index.in_labels(w):
+            report.checked += 1
+            if not oracle.query(u, w):
+                report.add(f"{u} ∈ L_in({w}) but {u} cannot reach {w}")
+        for u in index.out_labels(w):
+            report.checked += 1
+            if not oracle.query(w, u):
+                report.add(f"{u} ∈ L_out({w}) but {w} cannot reach {u}")
+    return report
+
+
+def check_canonical(
+    index: ReachabilityIndex, graph: DiGraph, order: VertexOrder
+) -> ValidationReport:
+    """Verify the index is exactly TOL's under ``order`` (Theorem 1):
+    ``u ∈ L_in(w)`` iff ``u`` is the highest-order vertex on every
+    ``u``-``w`` walk, and symmetrically for out-labels."""
+    from repro.core.backward import backward_label_sets
+
+    report = ValidationReport()
+    backward_in, backward_out = backward_label_sets(graph, order)
+    for side, backward, getter in (
+        ("L_in", backward_in, index.in_labels),
+        ("L_out", backward_out, index.out_labels),
+    ):
+        expected: list[set[int]] = [set() for _ in range(graph.num_vertices)]
+        for hub, members in backward.items():
+            for w in members:
+                expected[w].add(hub)
+        for w in range(graph.num_vertices):
+            report.checked += 1
+            actual = set(getter(w))
+            if actual != expected[w]:
+                missing = expected[w] - actual
+                extra = actual - expected[w]
+                report.add(
+                    f"{side}({w}): missing {sorted(missing)}, "
+                    f"redundant {sorted(extra)}"
+                )
+    return report

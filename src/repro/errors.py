@@ -1,0 +1,38 @@
+"""Exception types shared across the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """A (simulated) computation node exceeded its memory budget.
+
+    Mirrors the paper's "-" entries in Table VI: centralized algorithms
+    cannot index graphs that do not fit on a single machine.
+    """
+
+    def __init__(self, required_bytes: int, budget_bytes: int, what: str = "run"):
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"{what} needs {required_bytes / 2**30:.2f} GiB but the node "
+            f"budget is {budget_bytes / 2**30:.2f} GiB"
+        )
+
+
+class TimeLimitExceeded(ReproError):
+    """The simulated cut-off time (paper: 2 hours) was exceeded.
+
+    Mirrors the paper's "INF" entries.
+    """
+
+    def __init__(self, elapsed_seconds: float, limit_seconds: float):
+        self.elapsed_seconds = elapsed_seconds
+        self.limit_seconds = limit_seconds
+        super().__init__(
+            f"simulated time {elapsed_seconds:.1f}s exceeded the "
+            f"cut-off of {limit_seconds:.1f}s"
+        )

@@ -1,0 +1,75 @@
+"""Graph substrate: directed graphs, generators, traversal, ordering.
+
+This subpackage provides everything the labeling algorithms need from a
+graph library, implemented from scratch:
+
+- :class:`~repro.graph.digraph.DiGraph` — immutable CSR directed graph.
+- :class:`~repro.graph.builder.GraphBuilder` — mutable accumulator.
+- :mod:`~repro.graph.generators` — seeded synthetic graph generators.
+- :mod:`~repro.graph.traversal` — BFS / DFS / trimmed BFS (Algorithm 2).
+- :mod:`~repro.graph.scc` — Tarjan strongly connected components.
+- :mod:`~repro.graph.order` — total vertex orders (the paper's ``ord``).
+- :mod:`~repro.graph.partition` — vertex partitioners for the cluster.
+- :mod:`~repro.graph.io` — edge-list readers and writers.
+"""
+
+from repro.graph.analysis import BowTie, bowtie_decomposition, degree_summary
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_graph,
+    gn_graph,
+    knowledge_graph,
+    kronecker_graph,
+    paper_example_graph,
+    random_dag,
+    random_digraph,
+    social_graph,
+    web_graph,
+)
+from repro.graph.order import VertexOrder, degree_order, random_order
+from repro.graph.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.traversal import (
+    TrimmedBfsResult,
+    bfs_order,
+    dfs_postorder,
+    reachable_set,
+    trimmed_bfs,
+)
+
+__all__ = [
+    "BlockPartitioner",
+    "BowTie",
+    "DiGraph",
+    "GraphBuilder",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "TrimmedBfsResult",
+    "VertexOrder",
+    "bfs_order",
+    "bowtie_decomposition",
+    "citation_graph",
+    "condensation",
+    "degree_order",
+    "degree_summary",
+    "dfs_postorder",
+    "gn_graph",
+    "knowledge_graph",
+    "kronecker_graph",
+    "paper_example_graph",
+    "random_dag",
+    "random_digraph",
+    "random_order",
+    "reachable_set",
+    "social_graph",
+    "strongly_connected_components",
+    "trimmed_bfs",
+    "web_graph",
+]

@@ -1,0 +1,99 @@
+"""Structural graph analysis helpers.
+
+Utilities for understanding the reachability structure that drives
+labeling cost — most notably the web-graph *bow-tie* decomposition
+(Broder et al.): a strongly connected CORE, the IN set that reaches it,
+the OUT set it reaches, and the remaining OTHERS (tendrils, tubes, and
+disconnected pieces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import strongly_connected_components
+
+
+@dataclass(frozen=True)
+class BowTie:
+    """Bow-tie decomposition of a directed graph.
+
+    The four member sets partition the vertices; ``core`` is the
+    largest SCC (ties broken by smallest member id).
+    """
+
+    core: frozenset[int]
+    in_set: frozenset[int]
+    out_set: frozenset[int]
+    others: frozenset[int]
+
+    def summary(self) -> str:
+        """One-line size breakdown."""
+        total = (
+            len(self.core) + len(self.in_set) + len(self.out_set) + len(self.others)
+        )
+
+        def pct(part: frozenset[int]) -> str:
+            return f"{100 * len(part) / total:.1f}%" if total else "0%"
+
+        return (
+            f"core {len(self.core)} ({pct(self.core)}), "
+            f"in {len(self.in_set)} ({pct(self.in_set)}), "
+            f"out {len(self.out_set)} ({pct(self.out_set)}), "
+            f"others {len(self.others)} ({pct(self.others)})"
+        )
+
+
+def bowtie_decomposition(graph: DiGraph) -> BowTie:
+    """Decompose ``graph`` around its largest strongly connected core."""
+    if graph.num_vertices == 0:
+        empty: frozenset[int] = frozenset()
+        return BowTie(empty, empty, empty, empty)
+    components = strongly_connected_components(graph)
+    core_members = max(components, key=lambda c: (len(c), -min(c)))
+    core = frozenset(core_members)
+    reaches_core = _reachable_from(graph.reverse(), core)
+    reached_by_core = _reachable_from(graph, core)
+    in_set = frozenset(reaches_core - core)
+    out_set = frozenset(reached_by_core - core)
+    others = frozenset(
+        v
+        for v in graph.vertices()
+        if v not in core and v not in in_set and v not in out_set
+    )
+    return BowTie(core=core, in_set=in_set, out_set=out_set, others=others)
+
+
+def _reachable_from(graph: DiGraph, sources: frozenset[int]) -> set[int]:
+    visited = set(sources)
+    queue = deque(sources)
+    while queue:
+        v = queue.popleft()
+        for w in graph.out_neighbors(v):
+            if w not in visited:
+                visited.add(w)
+                queue.append(w)
+    return visited
+
+
+def degree_summary(graph: DiGraph) -> dict[str, float]:
+    """Degree statistics: max/mean in and out degree, and the share of
+    total in-degree held by the top-1% vertices (hub concentration —
+    the property the degree order exploits)."""
+    n = graph.num_vertices
+    if n == 0:
+        return {
+            "max_in": 0, "max_out": 0, "mean_degree": 0.0, "top1_in_share": 0.0
+        }
+    in_degrees = sorted((graph.in_degree(v) for v in graph.vertices()), reverse=True)
+    max_out = max(graph.out_degree(v) for v in graph.vertices())
+    top = max(1, n // 100)
+    total_in = sum(in_degrees)
+    return {
+        "max_in": in_degrees[0],
+        "max_out": max_out,
+        "mean_degree": graph.num_edges / n,
+        "top1_in_share": sum(in_degrees[:top]) / total_in if total_in else 0.0,
+    }

@@ -1,0 +1,76 @@
+"""Mutable edge accumulator that produces an immutable :class:`DiGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.digraph import DiGraph
+
+
+class GraphBuilder:
+    """Accumulates edges, then freezes them into a :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Optional fixed vertex count.  When omitted, the count is inferred
+        as ``max(vertex id) + 1`` at build time.
+    dedup:
+        Drop duplicate edges (default ``True``).
+    allow_self_loops:
+        Keep ``(v, v)`` edges (default ``False``: they are dropped, which
+        matches how the reachability datasets are normally cleaned).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int | None = None,
+        dedup: bool = True,
+        allow_self_loops: bool = False,
+    ):
+        self._num_vertices = num_vertices
+        self._dedup = dedup
+        self._allow_self_loops = allow_self_loops
+        self._edges: list[tuple[int, int]] = []
+        self._seen: set[tuple[int, int]] | None = set() if dedup else None
+        self._max_vertex = -1
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Record the directed edge ``(u, v)``; returns self for chaining."""
+        if u < 0 or v < 0:
+            raise ValueError(f"vertex ids must be non-negative, got ({u}, {v})")
+        if u == v and not self._allow_self_loops:
+            return self
+        if self._seen is not None:
+            if (u, v) in self._seen:
+                return self
+            self._seen.add((u, v))
+        self._edges.append((u, v))
+        if u > self._max_vertex:
+            self._max_vertex = u
+        if v > self._max_vertex:
+            self._max_vertex = v
+        return self
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> "GraphBuilder":
+        """Record many edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    @property
+    def num_edges(self) -> int:
+        """Edges recorded so far."""
+        return len(self._edges)
+
+    def build(self) -> DiGraph:
+        """Freeze into an immutable :class:`DiGraph`."""
+        n = self._num_vertices
+        if n is None:
+            n = self._max_vertex + 1
+        elif self._max_vertex >= n:
+            raise ValueError(
+                f"edge references vertex {self._max_vertex} "
+                f">= num_vertices {n}"
+            )
+        return DiGraph(n, self._edges)

@@ -1,0 +1,98 @@
+"""Edge-list I/O.
+
+Reachability datasets (SNAP, KONECT, ...) ship as whitespace-separated
+edge lists; this module reads and writes that format (optionally
+gzipped) plus a compact binary format for faster reloads.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+_BINARY_MAGIC = b"RPRO"
+_BINARY_VERSION = 1
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_list(path: str | Path) -> Iterator[tuple[int, int]]:
+    """Yield ``(u, v)`` pairs from a text edge list.
+
+    Lines starting with ``#`` or ``%`` are comments; blank lines are
+    skipped.  Extra columns (weights, timestamps) are ignored.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: expected at least two columns")
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: non-integer vertex id") from exc
+
+
+def read_edge_list(
+    path: str | Path,
+    num_vertices: int | None = None,
+    dedup: bool = True,
+) -> DiGraph:
+    """Load a text edge list into a :class:`DiGraph`."""
+    builder = GraphBuilder(num_vertices=num_vertices, dedup=dedup)
+    builder.add_edges(iter_edge_list(path))
+    return builder.build()
+
+
+def write_edge_list(graph: DiGraph, path: str | Path, header: bool = True) -> None:
+    """Write ``graph`` as a text edge list (gzip if the path ends in .gz)."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        if header:
+            handle.write(f"# repro edge list: n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+
+
+def write_binary(graph: DiGraph, path: str | Path) -> None:
+    """Write ``graph`` in the compact binary format."""
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        handle.write(
+            struct.pack("<IQQ", _BINARY_VERSION, graph.num_vertices, graph.num_edges)
+        )
+        for u, v in graph.edges():
+            handle.write(struct.pack("<QQ", u, v))
+
+
+def read_binary(path: str | Path) -> DiGraph:
+    """Read a graph written by :func:`write_binary`."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a repro binary graph (bad magic)")
+        version, n, m = struct.unpack("<IQQ", handle.read(20))
+        if version != _BINARY_VERSION:
+            raise ValueError(f"{path}: unsupported binary version {version}")
+        payload = handle.read(16 * m)
+        if len(payload) != 16 * m:
+            raise ValueError(f"{path}: truncated edge payload")
+        edges = [
+            struct.unpack_from("<QQ", payload, 16 * i) for i in range(m)
+        ]
+    return DiGraph(n, edges)

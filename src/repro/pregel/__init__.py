@@ -1,0 +1,53 @@
+"""Vertex-centric BSP cluster simulator with explicit cost accounting.
+
+This subpackage is the substitute for the paper's self-built MPI
+vertex-centric system (Section VI-A, "Environment"): a deterministic
+single-process engine that preserves BSP semantics and *counts*
+computation and communication, converting them to simulated seconds via
+a calibrated :class:`~repro.pregel.cost_model.CostModel`.
+"""
+
+from repro.pregel.aggregator import (
+    Aggregator,
+    any_aggregator,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from repro.pregel.cost_model import (
+    SCALED_CUTOFF_SECONDS,
+    CostModel,
+    mpi_cluster_model,
+    paper_scale_model,
+    shared_memory_model,
+)
+from repro.pregel.engine import (
+    Cluster,
+    ComputeContext,
+    FinalizeContext,
+    SuperstepLimitExceeded,
+)
+from repro.pregel.metrics import RunStats, SuperstepTrace
+from repro.pregel.serial import SerialMeter
+from repro.pregel.vertex_program import VertexProgram
+
+__all__ = [
+    "SCALED_CUTOFF_SECONDS",
+    "Aggregator",
+    "Cluster",
+    "any_aggregator",
+    "max_aggregator",
+    "min_aggregator",
+    "sum_aggregator",
+    "ComputeContext",
+    "CostModel",
+    "FinalizeContext",
+    "RunStats",
+    "SerialMeter",
+    "SuperstepTrace",
+    "SuperstepLimitExceeded",
+    "VertexProgram",
+    "mpi_cluster_model",
+    "paper_scale_model",
+    "shared_memory_model",
+]

@@ -1,0 +1,50 @@
+"""Pregel aggregators: global reductions across a super-step.
+
+Each vertex may contribute values during super-step *s*; the combined
+result becomes visible to every vertex at super-step *s + 1* (after the
+barrier), exactly as in Pregel.  Aggregators let programs coordinate —
+convergence detection, global extrema, frontier sizes — without
+point-to-point messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Aggregator(Generic[T]):
+    """A commutative/associative reduction with an identity element.
+
+    Parameters
+    ----------
+    initial:
+        Identity value (also the result of a step with no contributions).
+    combine:
+        Binary associative combiner.
+    """
+
+    def __init__(self, initial: T, combine: Callable[[T, T], T]):
+        self.initial = initial
+        self.combine = combine
+
+
+def sum_aggregator() -> Aggregator[int]:
+    """Sums integer contributions."""
+    return Aggregator(0, lambda a, b: a + b)
+
+
+def min_aggregator() -> Aggregator[float]:
+    """Minimum of contributions (identity: +inf)."""
+    return Aggregator(float("inf"), min)
+
+
+def max_aggregator() -> Aggregator[float]:
+    """Maximum of contributions (identity: -inf)."""
+    return Aggregator(float("-inf"), max)
+
+
+def any_aggregator() -> Aggregator[bool]:
+    """Logical OR of boolean contributions."""
+    return Aggregator(False, lambda a, b: a or b)

@@ -1,0 +1,356 @@
+"""The BSP cluster engine.
+
+:class:`Cluster` simulates a vertex-centric system running on
+``num_nodes`` computation nodes.  Vertices are assigned to nodes by a
+:class:`~repro.graph.partition.Partitioner`; message routing, super-step
+barriers, and termination follow Pregel semantics.  All work is counted
+and converted to simulated seconds by a
+:class:`~repro.pregel.cost_model.CostModel` (see that module for the
+formula), which is what makes single-process runs report meaningful
+distributed timings.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import HashPartitioner, Partitioner
+from repro.pregel.cost_model import CostModel
+from repro.pregel.metrics import RunStats
+from repro.pregel.vertex_program import VertexProgram
+
+_EMPTY: tuple = ()
+
+
+class SuperstepLimitExceeded(ReproError):
+    """The program did not terminate within ``max_supersteps``."""
+
+
+class ComputeContext:
+    """Facilities available to ``compute()`` during a super-step."""
+
+    __slots__ = (
+        "graph",
+        "num_nodes",
+        "superstep",
+        "_node_of",
+        "_current_node",
+        "_next_inbox",
+        "_units",
+        "_recv_bytes",
+        "_broadcast_bytes",
+        "_local_messages",
+        "_remote_messages",
+        "_cost",
+        "_base_seconds",
+        "_pending_units",
+        "_combine",
+        "_sent_keys",
+        "_aggregators",
+        "_agg_current",
+        "_agg_visible",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_nodes: int,
+        node_of: array,
+        cost: CostModel,
+    ):
+        self.graph = graph
+        self.num_nodes = num_nodes
+        self.superstep = 0
+        self._node_of = node_of
+        self._current_node = 0
+        self._next_inbox: dict[int, list] = {}
+        self._units = [0] * num_nodes
+        self._recv_bytes = [0] * num_nodes
+        self._broadcast_bytes = 0
+        self._local_messages = 0
+        self._remote_messages = 0
+        self._cost = cost
+        self._base_seconds = 0.0
+        self._pending_units = 0
+        self._combine = False
+        self._sent_keys: set = set()
+        self._aggregators: dict = {}
+        self._agg_current: dict = {}
+        self._agg_visible: dict = {}
+
+    # -- called by the engine ------------------------------------------
+    def _begin_superstep(self, superstep: int) -> None:
+        self.superstep = superstep
+        self._next_inbox = {}
+        self._units = [0] * self.num_nodes
+        self._recv_bytes = [0] * self.num_nodes
+        self._broadcast_bytes = 0
+        if self._combine:
+            self._sent_keys = set()
+        if self._aggregators:
+            self._agg_visible = dict(self._agg_current)
+            self._agg_current = {
+                name: agg.initial for name, agg in self._aggregators.items()
+            }
+
+    def _at_vertex(self, vertex: int) -> None:
+        self._current_node = self._node_of[vertex]
+
+    # -- called by programs --------------------------------------------
+    def node_of(self, vertex: int) -> int:
+        """The computation node owning ``vertex``."""
+        return self._node_of[vertex]
+
+    def charge(self, units: int = 1) -> None:
+        """Charge compute units to the current vertex's node.
+
+        Periodically re-checks the simulated cut-off so that runs whose
+        single super-step explodes (DRL⁻'s refinement floods) abort as
+        soon as the provisional total crosses the limit, rather than
+        after finishing the super-step.
+        """
+        self._units[self._current_node] += units
+        self._pending_units += units
+        if self._pending_units >= 262_144:
+            self._pending_units = 0
+            self._cost.check_time(
+                self._base_seconds + max(self._units) * self._cost.t_op
+            )
+
+    def send(self, dst: int, payload) -> None:
+        """Send ``payload`` to vertex ``dst`` (delivered next super-step)."""
+        if self._combine:
+            key = (self._current_node, dst, payload)
+            if key in self._sent_keys:
+                return  # combined away before reaching the network
+            self._sent_keys.add(key)
+        bucket = self._next_inbox.get(dst)
+        if bucket is None:
+            self._next_inbox[dst] = [payload]
+        else:
+            bucket.append(payload)
+        dst_node = self._node_of[dst]
+        if dst_node == self._current_node:
+            self._local_messages += 1
+        else:
+            self._remote_messages += 1
+            self._recv_bytes[dst_node] += self._cost.message_bytes
+
+    def aggregate(self, name: str, value) -> None:
+        """Contribute ``value`` to aggregator ``name`` this super-step.
+
+        The combined result (including a tiny per-value broadcast
+        charge) becomes visible via :meth:`aggregated` next super-step.
+        """
+        aggregator = self._aggregators[name]
+        self._agg_current[name] = aggregator.combine(
+            self._agg_current[name], value
+        )
+        if self.num_nodes > 1:
+            self._broadcast_bytes += self._cost.entry_bytes
+
+    def aggregated(self, name: str):
+        """The previous super-step's combined value for ``name``.
+
+        Before any contribution round completes, returns the
+        aggregator's identity value.
+        """
+        aggregator = self._aggregators[name]
+        return self._agg_visible.get(name, aggregator.initial)
+
+    def publish_entries(self, count: int = 1) -> None:
+        """Charge the replication of ``count`` shared-list entries.
+
+        Models Alg. 3's sharing of inverted lists (and Alg. 4's batch
+        label sets): every other node receives the new entries at the
+        next barrier.
+        """
+        if self.num_nodes > 1:
+            self._broadcast_bytes += count * self._cost.entry_bytes
+
+
+class FinalizeContext:
+    """Per-vertex charging facilities for the post-loop pass."""
+
+    __slots__ = (
+        "graph",
+        "num_nodes",
+        "_node_of",
+        "_units",
+        "_cost",
+        "_base_seconds",
+        "_pending_units",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_nodes: int,
+        node_of: array,
+        cost: CostModel,
+        base_seconds: float,
+    ):
+        self.graph = graph
+        self.num_nodes = num_nodes
+        self._node_of = node_of
+        self._units = [0] * num_nodes
+        self._cost = cost
+        self._base_seconds = base_seconds
+        self._pending_units = 0
+
+    def charge(self, vertex: int, units: int = 1) -> None:
+        """Charge ``units`` to the node owning ``vertex``; re-checks the
+        cut-off periodically, as :meth:`ComputeContext.charge` does."""
+        self._units[self._node_of[vertex]] += units
+        self._pending_units += units
+        if self._pending_units >= 262_144:
+            self._pending_units = 0
+            self._cost.check_time(
+                self._base_seconds + max(self._units) * self._cost.t_op
+            )
+
+
+class Cluster:
+    """A simulated cluster of ``num_nodes`` computation nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of computation nodes (the paper uses up to 32).
+    cost_model:
+        Converts work counts to simulated seconds; defaults to the MPI
+        cluster model.
+    partitioner:
+        Vertex-to-node assignment; defaults to the paper's hash-by-id
+        scheme.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 32,
+        cost_model: CostModel | None = None,
+        partitioner: Partitioner | None = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if partitioner is not None and partitioner.num_nodes != num_nodes:
+            raise ValueError("partitioner and cluster disagree on num_nodes")
+        self.num_nodes = num_nodes
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.partitioner = (
+            partitioner if partitioner is not None else HashPartitioner(num_nodes)
+        )
+
+    def run(
+        self,
+        graph: DiGraph,
+        program: VertexProgram,
+        max_supersteps: int = 100_000,
+        stats: RunStats | None = None,
+        trace: bool = False,
+    ) -> RunStats:
+        """Execute ``program`` on ``graph`` until no messages remain.
+
+        When ``stats`` is given, accounting accumulates into it (used to
+        chain the batches of DRL_b into one run) and the time-limit check
+        covers the accumulated total.  ``trace=True`` records one
+        :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
+        """
+        cost = self.cost_model
+        node_of = array(
+            "q", (self.partitioner.node_of(v) for v in graph.vertices())
+        )
+        if stats is None:
+            stats = RunStats(num_nodes=self.num_nodes)
+            stats.per_node_units = [0] * self.num_nodes
+        wall_start = time.perf_counter()
+
+        ctx = ComputeContext(graph, self.num_nodes, node_of, cost)
+        ctx._combine = program.combine_duplicates
+        ctx._aggregators = program.aggregators()
+        ctx._agg_current = {
+            name: agg.initial for name, agg in ctx._aggregators.items()
+        }
+        program.setup(ctx)
+
+        inbox: dict[int, list] = {}
+        superstep = 0
+        while True:
+            superstep += 1
+            if superstep > max_supersteps:
+                raise SuperstepLimitExceeded(
+                    f"no termination after {max_supersteps} supersteps"
+                )
+            ctx._begin_superstep(superstep)
+            ctx._base_seconds = stats.simulated_seconds
+            if superstep == 1:
+                active = graph.num_vertices
+                for v in graph.vertices():
+                    ctx._at_vertex(v)
+                    program.compute(ctx, v, _EMPTY)
+            else:
+                active = len(inbox)
+                for v in sorted(inbox):
+                    messages = inbox[v]
+                    ctx._at_vertex(v)
+                    ctx.charge(len(messages))
+                    program.compute(ctx, v, messages)
+            self._close_superstep(ctx, stats, active if trace else -1)
+            program.on_barrier(superstep)
+            cost.check_time(stats.simulated_seconds)
+            inbox = ctx._next_inbox
+            if not inbox:
+                break
+
+        fctx = FinalizeContext(
+            graph, self.num_nodes, node_of, cost, stats.simulated_seconds
+        )
+        program.finalize(fctx)
+        finalize_units = fctx._units
+        if any(finalize_units):
+            stats.supersteps += 1
+            stats.compute_units += sum(finalize_units)
+            stats.computation_seconds += max(finalize_units) * cost.t_op
+            stats.barrier_seconds += cost.t_barrier
+            for node, units in enumerate(finalize_units):
+                stats.per_node_units[node] += units
+        cost.check_time(stats.simulated_seconds)
+        stats.wall_seconds += time.perf_counter() - wall_start
+        return stats
+
+    def _close_superstep(
+        self, ctx: ComputeContext, stats: RunStats, traced_active: int = -1
+    ) -> None:
+        cost = self.cost_model
+        if traced_active >= 0:
+            from repro.pregel.metrics import SuperstepTrace
+
+            stats.trace.append(
+                SuperstepTrace(
+                    superstep=ctx.superstep,
+                    active_vertices=traced_active,
+                    compute_units=sum(ctx._units),
+                    max_node_units=max(ctx._units),
+                    remote_messages=ctx._remote_messages,
+                    remote_bytes=sum(ctx._recv_bytes),
+                    broadcast_bytes=ctx._broadcast_bytes,
+                )
+            )
+        stats.supersteps += 1
+        stats.compute_units += sum(ctx._units)
+        stats.local_messages += ctx._local_messages
+        stats.remote_messages += ctx._remote_messages
+        stats.remote_bytes += sum(ctx._recv_bytes)
+        stats.broadcast_bytes += ctx._broadcast_bytes
+        stats.computation_seconds += max(ctx._units) * cost.t_op
+        stats.communication_seconds += (
+            max(ctx._recv_bytes) + ctx._broadcast_bytes
+        ) * cost.t_byte
+        stats.barrier_seconds += cost.t_barrier
+        for node, units in enumerate(ctx._units):
+            stats.per_node_units[node] += units
+        ctx._local_messages = 0
+        ctx._remote_messages = 0

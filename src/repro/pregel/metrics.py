@@ -1,0 +1,88 @@
+"""Run statistics collected by the cluster engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SuperstepTrace:
+    """Per-super-step accounting row (collected when tracing is on)."""
+
+    superstep: int
+    active_vertices: int
+    compute_units: int
+    max_node_units: int
+    remote_messages: int
+    remote_bytes: int
+    broadcast_bytes: int
+
+
+@dataclass
+class RunStats:
+    """Work and cost accounting for one cluster run.
+
+    ``computation_seconds`` and ``communication_seconds`` are the two
+    bar segments of the paper's Fig. 5; their sum (plus barriers) is the
+    *index time* reported in Table VI and Figs. 6-9.
+    """
+
+    num_nodes: int = 1
+    supersteps: int = 0
+    compute_units: int = 0
+    local_messages: int = 0
+    remote_messages: int = 0
+    remote_bytes: int = 0
+    broadcast_bytes: int = 0
+    computation_seconds: float = 0.0
+    communication_seconds: float = 0.0
+    barrier_seconds: float = 0.0
+    per_node_units: list[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    trace: list[SuperstepTrace] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated time (computation + communication + barriers)."""
+        return (
+            self.computation_seconds
+            + self.communication_seconds
+            + self.barrier_seconds
+        )
+
+    @property
+    def total_messages(self) -> int:
+        """All messages, local and remote."""
+        return self.local_messages + self.remote_messages
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Accumulate another phase's stats into this one (in place)."""
+        self.supersteps += other.supersteps
+        self.compute_units += other.compute_units
+        self.local_messages += other.local_messages
+        self.remote_messages += other.remote_messages
+        self.remote_bytes += other.remote_bytes
+        self.broadcast_bytes += other.broadcast_bytes
+        self.computation_seconds += other.computation_seconds
+        self.communication_seconds += other.communication_seconds
+        self.barrier_seconds += other.barrier_seconds
+        self.wall_seconds += other.wall_seconds
+        if len(self.per_node_units) < len(other.per_node_units):
+            self.per_node_units.extend(
+                [0] * (len(other.per_node_units) - len(self.per_node_units))
+            )
+        for node, units in enumerate(other.per_node_units):
+            self.per_node_units[node] += units
+        return self
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.simulated_seconds:.3f}s simulated "
+            f"({self.computation_seconds:.3f}s comp, "
+            f"{self.communication_seconds:.3f}s comm, "
+            f"{self.barrier_seconds:.3f}s barrier) over "
+            f"{self.supersteps} supersteps on {self.num_nodes} nodes; "
+            f"{self.compute_units} units, "
+            f"{self.remote_messages}/{self.total_messages} remote msgs"
+        )

@@ -1,0 +1,64 @@
+"""Cost accounting for *centralized* algorithms (TOL, BFL^C).
+
+The paper runs centralized competitors on a single node of the same
+cluster.  :class:`SerialMeter` charges their work with the same
+``t_op`` as the distributed engine so index times are comparable, and
+enforces the same memory budget and cut-off time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.pregel.cost_model import CostModel
+from repro.pregel.metrics import RunStats
+
+
+class SerialMeter:
+    """Counts work units for a single-machine algorithm."""
+
+    __slots__ = ("_cost", "_units", "_wall_start", "_check_every", "_next_check")
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self._cost = cost_model if cost_model is not None else CostModel()
+        self._units = 0
+        self._wall_start = time.perf_counter()
+        # First check exactly when the cut-off would be crossed, then
+        # after every further unit (the raise ends the run anyway).
+        limit = self._cost.time_limit_seconds
+        if limit is None:
+            self._next_check = float("inf")
+        else:
+            self._next_check = int(limit / self._cost.t_op) + 1
+
+    @property
+    def units(self) -> int:
+        """Compute units charged so far."""
+        return self._units
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Simulated elapsed time."""
+        return self._units * self._cost.t_op
+
+    def charge(self, units: int = 1) -> None:
+        """Charge ``units`` of work; raises past the simulated cut-off."""
+        self._units += units
+        if self._units >= self._next_check:
+            self._cost.check_time(self.simulated_seconds)
+
+    def check_memory(self, required_bytes: int, what: str = "run") -> None:
+        """Enforce the single-node memory budget."""
+        self._cost.check_memory(required_bytes, what)
+
+    def stats(self) -> RunStats:
+        """Finish and return accounting in :class:`RunStats` form."""
+        self._cost.check_time(self.simulated_seconds)
+        return RunStats(
+            num_nodes=1,
+            supersteps=0,
+            compute_units=self._units,
+            computation_seconds=self.simulated_seconds,
+            per_node_units=[self._units],
+            wall_seconds=time.perf_counter() - self._wall_start,
+        )

@@ -1,0 +1,66 @@
+"""The vertex-centric programming interface (Section II-C of the paper).
+
+A :class:`VertexProgram` is executed by the cluster engine in
+super-steps: in each super-step every *active* vertex receives the
+messages addressed to it in the previous super-step, updates its state,
+and sends messages for the next super-step.  The computation ends when
+no messages are in flight.
+
+BSP discipline, enforced by convention
+--------------------------------------
+``compute(ctx, v, messages)`` may only touch state *owned by vertex v*
+plus data that has been explicitly *published* (broadcast) at an earlier
+barrier — exactly what a real vertex-centric system allows.  The engine
+cannot stop a simulator program from peeking at other vertices' state,
+but every algorithm in :mod:`repro.core` keeps a published/pending split
+for shared structures so that remote reads always observe the previous
+barrier's snapshot.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pregel.engine import ComputeContext, FinalizeContext
+
+
+class VertexProgram(ABC):
+    """User code run by the cluster engine."""
+
+    #: Opt-in message combiner: when True, duplicate ``(destination,
+    #: payload)`` messages sent from the same node within one super-step
+    #: are dropped before they hit the network (Pregel's combiner).
+    #: Only sound for programs whose message handling is idempotent.
+    combine_duplicates: bool = False
+
+    def aggregators(self) -> dict:
+        """Aggregators this program uses: ``{name: Aggregator}``.
+
+        Contribute with ``ctx.aggregate(name, value)``; read the
+        *previous* super-step's combined result with
+        ``ctx.aggregated(name)`` (Pregel visibility rules).
+        """
+        return {}
+
+    def setup(self, ctx: "ComputeContext") -> None:
+        """Called once before super-step 1 (allocate state)."""
+
+    @abstractmethod
+    def compute(self, ctx: "ComputeContext", vertex: int, messages: Sequence) -> None:
+        """Process ``messages`` addressed to ``vertex`` and send new ones.
+
+        In super-step 1 every vertex is invoked with an empty message
+        list (this is where sources kick off their traversals).
+        """
+
+    def on_barrier(self, superstep: int) -> None:
+        """Called at every super-step barrier (publish shared snapshots)."""
+
+    def finalize(self, ctx: "FinalizeContext") -> None:
+        """Called once after the message loop (e.g. Alg. 3 lines 19-20).
+
+        Work done here must be charged through ``ctx.charge(vertex,
+        units)`` so the post-pass appears in the cost accounting.
+        """

@@ -1,0 +1,184 @@
+"""Query backends and the batch evaluation service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.baselines.bfl import BflIndex
+from repro.baselines.grail import GrailIndex
+from repro.baselines.online import OnlineSearcher
+from repro.core.labels import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.pregel.cost_model import CostModel
+
+
+class QueryBackend(Protocol):
+    """Anything that answers a reachability query with a cost."""
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        """Returns ``(answer, simulated seconds)``."""
+        ...  # pragma: no cover
+
+
+class IndexBackend:
+    """2-hop index backend (TOL / DRL family): sorted-merge queries."""
+
+    def __init__(self, index: ReachabilityIndex, cost_model: CostModel | None = None):
+        self._index = index
+        self._t_op = (cost_model or CostModel()).t_op
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        index = self._index
+        units = len(index.out_labels(s)) + len(index.in_labels(t)) + 1
+        return index.query(s, t), units * self._t_op
+
+
+class BflBackend:
+    """BFL^C backend: label tests plus occasional pruned search."""
+
+    def __init__(self, index: BflIndex, cost_model: CostModel | None = None):
+        self._index = index
+        self._cost = cost_model or CostModel()
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        from repro.pregel.serial import SerialMeter
+
+        meter = SerialMeter(self._cost.with_time_limit(None))
+        answer = self._index.query(s, t, meter=meter)
+        return answer, meter.simulated_seconds
+
+
+class GrailBackend:
+    """GRAIL backend: interval tests plus occasional pruned search."""
+
+    def __init__(self, index: GrailIndex, cost_model: CostModel | None = None):
+        self._index = index
+        self._cost = cost_model or CostModel()
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        from repro.pregel.serial import SerialMeter
+
+        meter = SerialMeter(self._cost.with_time_limit(None))
+        answer = self._index.query(s, t, meter=meter)
+        return answer, meter.simulated_seconds
+
+
+class OnlineBackend:
+    """Index-free backend: BFS per query."""
+
+    def __init__(self, graph: DiGraph, cost_model: CostModel | None = None):
+        self._searcher = OnlineSearcher(graph, cost_model or CostModel())
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        return self._searcher.query_with_cost(s, t)
+
+
+class DistributedIndexBackend:
+    """Query a 2-hop index whose labels stay sharded across nodes.
+
+    The alternative to the paper's collect-to-one-machine setup: each
+    query fetches ``L_out(s)`` and ``L_in(t)`` from their owners (up to
+    two serialized hops plus label bytes) and merges locally.  Still
+    orders of magnitude cheaper than traversing the distributed graph.
+    """
+
+    def __init__(
+        self,
+        index: ReachabilityIndex,
+        num_nodes: int = 32,
+        cost_model: CostModel | None = None,
+        coordinator_node: int = 0,
+    ):
+        from repro.graph.partition import HashPartitioner
+
+        self._index = index
+        self._cost = cost_model or CostModel()
+        self._partitioner = HashPartitioner(num_nodes)
+        self._coordinator = coordinator_node
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        cost = self._cost
+        index = self._index
+        out_labels = index.out_labels(s)
+        in_labels = index.in_labels(t)
+        seconds = (len(out_labels) + len(in_labels) + 1) * cost.t_op
+        for vertex, labels in ((s, out_labels), (t, in_labels)):
+            if self._partitioner.node_of(vertex) != self._coordinator:
+                seconds += cost.t_hop + len(labels) * cost.entry_bytes * cost.t_byte
+        return index.query(s, t), seconds
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Latency statistics for one evaluated workload."""
+
+    count: int
+    positives: int
+    total_seconds: float
+    mean_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    max_seconds: float
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of queries answered True."""
+        return self.positives / self.count if self.count else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Queries per simulated second."""
+        return self.count / self.total_seconds if self.total_seconds else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.count} queries ({self.positive_rate:.0%} positive): "
+            f"mean {self.mean_seconds:.2e}s, p95 {self.p95_seconds:.2e}s, "
+            f"p99 {self.p99_seconds:.2e}s, max {self.max_seconds:.2e}s"
+        )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class QueryService:
+    """Evaluates query workloads against a backend."""
+
+    def __init__(self, backend: QueryBackend):
+        self._backend = backend
+
+    def query(self, s: int, t: int) -> bool:
+        """Single query, answer only."""
+        answer, _seconds = self._backend.query_with_cost(s, t)
+        return answer
+
+    def evaluate(self, pairs: Iterable[tuple[int, int]]) -> QueryReport:
+        """Run every pair and collect latency statistics."""
+        latencies: list[float] = []
+        positives = 0
+        for s, t in pairs:
+            answer, seconds = self._backend.query_with_cost(s, t)
+            positives += answer
+            latencies.append(seconds)
+        if not latencies:
+            return QueryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        latencies.sort()
+        total = sum(latencies)
+        return QueryReport(
+            count=len(latencies),
+            positives=positives,
+            total_seconds=total,
+            mean_seconds=total / len(latencies),
+            p50_seconds=_percentile(latencies, 0.50),
+            p95_seconds=_percentile(latencies, 0.95),
+            p99_seconds=_percentile(latencies, 0.99),
+            max_seconds=latencies[-1],
+        )

@@ -1,0 +1,28 @@
+"""Benchmark workloads: dataset stand-ins and query generators."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    MEDIUM_DATASETS,
+    DatasetSpec,
+    get_dataset,
+)
+from repro.workloads.queries import (
+    balanced_pairs,
+    negative_pairs,
+    positive_pairs,
+    random_pairs,
+)
+from repro.workloads.updates import apply_stream, update_stream
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "MEDIUM_DATASETS",
+    "apply_stream",
+    "balanced_pairs",
+    "get_dataset",
+    "negative_pairs",
+    "positive_pairs",
+    "random_pairs",
+    "update_stream",
+]

@@ -1,0 +1,94 @@
+"""Reachability query workload generators (all seeded).
+
+The paper measures query time over large batches of random vertex
+pairs; real evaluations also balance positive/negative answers because
+index-assisted methods (BFL) behave very differently on the two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_order
+
+
+def random_pairs(
+    num_vertices: int, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Uniform random ``(s, t)`` pairs (the paper's query workload)."""
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex")
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(num_vertices), rng.randrange(num_vertices))
+        for _ in range(count)
+    ]
+
+
+def positive_pairs(
+    graph: DiGraph, count: int, seed: int = 0, max_attempts_factor: int = 50
+) -> list[tuple[int, int]]:
+    """Pairs with ``s → t``: sample a source, pick a random descendant.
+
+    Raises ``ValueError`` if the graph is too disconnected to supply
+    ``count`` non-trivial positives (falls back to ``s == t`` pairs
+    only as a last resort before giving up).
+    """
+    rng = random.Random(seed)
+    pairs: list[tuple[int, int]] = []
+    attempts = 0
+    limit = max_attempts_factor * max(count, 1)
+    while len(pairs) < count:
+        attempts += 1
+        if attempts > limit:
+            raise ValueError(
+                f"could not find {count} positive pairs in {limit} attempts"
+            )
+        s = rng.randrange(graph.num_vertices)
+        reachable = bfs_order(graph, s)
+        if len(reachable) < 2:
+            continue
+        t = reachable[rng.randrange(1, len(reachable))]
+        pairs.append((s, t))
+    return pairs
+
+
+def negative_pairs(
+    graph: DiGraph,
+    oracle: Callable[[int, int], bool],
+    count: int,
+    seed: int = 0,
+    max_attempts_factor: int = 200,
+) -> list[tuple[int, int]]:
+    """Pairs with ``s ↛ t``, verified against ``oracle``."""
+    rng = random.Random(seed)
+    pairs: list[tuple[int, int]] = []
+    attempts = 0
+    limit = max_attempts_factor * max(count, 1)
+    while len(pairs) < count:
+        attempts += 1
+        if attempts > limit:
+            raise ValueError(
+                f"could not find {count} negative pairs in {limit} attempts"
+            )
+        s = rng.randrange(graph.num_vertices)
+        t = rng.randrange(graph.num_vertices)
+        if s != t and not oracle(s, t):
+            pairs.append((s, t))
+    return pairs
+
+
+def balanced_pairs(
+    graph: DiGraph,
+    oracle: Callable[[int, int], bool],
+    count: int,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Half positive, half negative, shuffled."""
+    half = count // 2
+    pairs = positive_pairs(graph, half, seed=seed)
+    pairs += negative_pairs(graph, oracle, count - half, seed=seed + 1)
+    random.Random(seed + 2).shuffle(pairs)
+    return pairs

@@ -1,0 +1,74 @@
+"""Edge-update workloads for the dynamic index.
+
+Generates deterministic insert/delete streams that respect the current
+graph state (insertions pick absent edges, deletions pick present
+ones), for exercising :class:`~repro.core.dynamic.DynamicReachabilityIndex`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Literal
+
+from repro.graph.digraph import DiGraph
+
+UpdateOp = tuple[Literal["insert", "delete"], int, int]
+
+
+def update_stream(
+    graph: DiGraph,
+    count: int,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+    max_attempts_factor: int = 200,
+) -> list[UpdateOp]:
+    """A stream of ``count`` valid edge updates starting from ``graph``.
+
+    Each operation is valid at its position in the stream: deletions
+    target an edge that exists at that point, insertions a non-edge.
+    The ratio is honoured in expectation; when one kind runs out (no
+    edges left to delete, or the graph is complete) the other is used.
+    """
+    if not 0.0 <= insert_ratio <= 1.0:
+        raise ValueError("insert_ratio must lie in [0, 1]")
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("need at least two vertices to update edges")
+    rng = random.Random(seed)
+    present: set[tuple[int, int]] = set(graph.edges())
+    stream: list[UpdateOp] = []
+    max_edges = n * (n - 1)
+    attempts_budget = max_attempts_factor * max(count, 1)
+
+    while len(stream) < count:
+        want_insert = rng.random() < insert_ratio
+        if want_insert and len(present) >= max_edges:
+            want_insert = False
+        if not want_insert and not present:
+            want_insert = True
+            if len(present) >= max_edges:
+                raise ValueError("graph admits no further updates")
+        if want_insert:
+            while True:
+                attempts_budget -= 1
+                if attempts_budget < 0:
+                    raise ValueError("could not find a missing edge to insert")
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and (u, v) not in present:
+                    break
+            present.add((u, v))
+            stream.append(("insert", u, v))
+        else:
+            u, v = rng.choice(sorted(present))
+            present.discard((u, v))
+            stream.append(("delete", u, v))
+    return stream
+
+
+def apply_stream(dynamic, stream: list[UpdateOp]) -> None:
+    """Apply an update stream to a dynamic index."""
+    for op, u, v in stream:
+        if op == "insert":
+            dynamic.insert_edge(u, v)
+        else:
+            dynamic.delete_edge(u, v)

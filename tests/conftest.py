@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import paper_example_graph, paper_example_order
+
+
+@st.composite
+def digraphs(draw, max_vertices: int = 24, max_edge_factor: int = 4) -> DiGraph:
+    """Random simple digraphs, cycles included, possibly disconnected."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    cap = min(len(possible), max_edge_factor * n)
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=cap, unique=True)
+        if possible
+        else st.just([])
+    )
+    return DiGraph(n, edges)
+
+
+@st.composite
+def dags(draw, max_vertices: int = 20) -> DiGraph:
+    """Random DAGs (edges go low id -> high id)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=3 * n, unique=True)
+        if possible
+        else st.just([])
+    )
+    return DiGraph(n, edges)
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """Fig. 1's graph (vertices 0..10 = the paper's v1..v11)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def paper_order():
+    """The running example's order: v1 > v2 > ... > v11."""
+    return paper_example_order()
+
+
+# Expected label sets from Table II, keyed by 1-indexed paper vertex.
+TABLE_II_IN = {
+    1: {1}, 2: {2}, 3: {2}, 4: {2}, 5: {1}, 6: {2}, 7: {1},
+    8: {1, 8}, 9: {1, 8, 9}, 10: {2, 10}, 11: {2, 11},
+}
+TABLE_II_OUT = {
+    1: {1}, 2: {1, 2}, 3: {1, 2}, 4: {1, 2}, 5: {1}, 6: {1, 2},
+    7: {1}, 8: {8}, 9: {9}, 10: {10}, 11: {11},
+}
+# Expected backward label sets from Table III.
+TABLE_III_IN = {
+    1: {1, 5, 7, 8, 9}, 2: {2, 3, 4, 6, 10, 11}, 3: set(), 4: set(),
+    5: set(), 6: set(), 7: set(), 8: {8, 9}, 9: {9}, 10: {10}, 11: {11},
+}
+TABLE_III_OUT = {
+    1: {1, 2, 3, 4, 5, 6, 7}, 2: {2, 3, 4, 6}, 3: set(), 4: set(),
+    5: set(), 6: set(), 7: set(), 8: {8}, 9: {9}, 10: {10}, 11: {11},
+}

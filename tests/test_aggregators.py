@@ -1,0 +1,87 @@
+"""Tests for Pregel aggregators."""
+
+from repro.graph.digraph import DiGraph
+from repro.pregel.aggregator import (
+    Aggregator,
+    any_aggregator,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from repro.pregel.engine import Cluster
+from repro.pregel.vertex_program import VertexProgram
+
+
+class DegreeStatsProgram(VertexProgram):
+    """Aggregates max degree and vertex count in super-step 1, reads
+    the combined values in super-step 2."""
+
+    def __init__(self):
+        self.seen_max = None
+        self.seen_count = None
+
+    def aggregators(self):
+        return {"max-deg": max_aggregator(), "count": sum_aggregator()}
+
+    def compute(self, ctx, v, messages):
+        if ctx.superstep == 1:
+            ctx.aggregate("max-deg", ctx.graph.out_degree(v))
+            ctx.aggregate("count", 1)
+            if v == 0:
+                ctx.send(0, "wake up")  # force a second super-step
+        elif v == 0:
+            self.seen_max = ctx.aggregated("max-deg")
+            self.seen_count = ctx.aggregated("count")
+
+
+def test_aggregates_visible_next_superstep():
+    g = DiGraph(5, [(0, 1), (0, 2), (0, 3), (1, 2)])
+    program = DegreeStatsProgram()
+    Cluster(num_nodes=2).run(g, program)
+    assert program.seen_max == 3
+    assert program.seen_count == 5
+
+
+def test_identity_before_first_barrier():
+    class Probe(VertexProgram):
+        def __init__(self):
+            self.initial_value = None
+
+        def aggregators(self):
+            return {"sum": sum_aggregator()}
+
+        def compute(self, ctx, v, messages):
+            if ctx.superstep == 1 and v == 0:
+                self.initial_value = ctx.aggregated("sum")
+
+    g = DiGraph(2, [])
+    program = Probe()
+    Cluster(num_nodes=1).run(g, program)
+    assert program.initial_value == 0
+
+
+def test_aggregation_charges_broadcast_on_clusters():
+    g = DiGraph(4, [(0, 1)])
+
+    class Contribute(VertexProgram):
+        def aggregators(self):
+            return {"sum": sum_aggregator()}
+
+        def compute(self, ctx, v, messages):
+            if ctx.superstep == 1:
+                ctx.aggregate("sum", 1)
+
+    single = Cluster(num_nodes=1).run(g, Contribute())
+    multi = Cluster(num_nodes=4).run(g, Contribute())
+    assert single.broadcast_bytes == 0
+    assert multi.broadcast_bytes > 0
+
+
+def test_prebuilt_aggregators():
+    assert min_aggregator().combine(3, 5) == 3
+    assert max_aggregator().combine(3, 5) == 5
+    assert sum_aggregator().combine(3, 5) == 8
+    assert any_aggregator().combine(False, True) is True
+    assert any_aggregator().initial is False
+    custom = Aggregator("", lambda a, b: a + b)
+    assert custom.combine("a", "b") == "ab"

@@ -1,0 +1,83 @@
+"""Tests for structural analysis helpers."""
+
+from hypothesis import given, settings
+
+from repro.graph.analysis import bowtie_decomposition, degree_summary
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import web_graph
+from tests.conftest import digraphs
+
+
+def test_bowtie_textbook_shape():
+    # in: 0 -> core {1, 2} -> out: 3; isolated: 4
+    g = DiGraph(5, [(0, 1), (1, 2), (2, 1), (2, 3)])
+    tie = bowtie_decomposition(g)
+    assert tie.core == {1, 2}
+    assert tie.in_set == {0}
+    assert tie.out_set == {3}
+    assert tie.others == {4}
+    assert "core 2" in tie.summary()
+
+
+def test_bowtie_empty_graph():
+    tie = bowtie_decomposition(DiGraph(0, []))
+    assert not tie.core and not tie.others
+    assert tie.summary().startswith("core 0")
+
+
+def test_bowtie_all_core():
+    g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+    tie = bowtie_decomposition(g)
+    assert tie.core == {0, 1, 2}
+    assert not tie.in_set and not tie.out_set and not tie.others
+
+
+def test_bowtie_tendril_is_other():
+    # in-tendril hanging off the IN set: 5 -> 0 -> core; 5 not counted
+    # as IN? 5 reaches the core through 0, so 5 is IN; a true OTHER
+    # hangs off OUT without reaching back: 3 -> 4 where 3 is OUT.
+    g = DiGraph(6, [(0, 1), (1, 2), (2, 1), (2, 3), (5, 0), (3, 4)])
+    tie = bowtie_decomposition(g)
+    assert 5 in tie.in_set
+    assert 4 in tie.out_set  # reachable from the core via 3
+    assert not tie.others
+
+
+def test_web_graph_has_substantial_core():
+    g = web_graph(600, seed=3)
+    tie = bowtie_decomposition(g)
+    assert len(tie.core) > 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_bowtie_partitions_vertices(g):
+    tie = bowtie_decomposition(g)
+    if g.num_vertices == 0:
+        return
+    parts = [tie.core, tie.in_set, tie.out_set, tie.others]
+    union = set().union(*parts)
+    assert union == set(g.vertices())
+    assert sum(len(p) for p in parts) == g.num_vertices  # disjoint
+    # IN members reach the core; OUT members are reached from it.
+    from repro.graph.traversal import reachable_set
+
+    if tie.core:
+        pivot = next(iter(tie.core))
+        core_reach = reachable_set(g, pivot)
+        for v in tie.out_set:
+            assert v in core_reach
+
+
+def test_degree_summary():
+    g = DiGraph(4, [(0, 1), (2, 1), (3, 1), (1, 0)])
+    stats = degree_summary(g)
+    assert stats["max_in"] == 3
+    assert stats["max_out"] == 1
+    assert stats["mean_degree"] == 1.0
+    assert 0 < stats["top1_in_share"] <= 1.0
+
+
+def test_degree_summary_empty():
+    stats = degree_summary(DiGraph(0, []))
+    assert stats["mean_degree"] == 0.0

@@ -1,0 +1,101 @@
+"""Tests for the filtering-and-refinement framework (Theorems 1-4)."""
+
+from hypothesis import given, settings
+
+from repro.core.backward import (
+    backward_in_labels_basic,
+    backward_in_labels_improved,
+    backward_in_labels_naive,
+    backward_label_sets,
+    higher_order_descendants,
+)
+from repro.core.labels import ReachabilityIndex
+from repro.core.tol import tol_index_reference
+from repro.graph.digraph import DiGraph
+from repro.graph.order import VertexOrder, degree_order
+from repro.graph.traversal import reachable_set
+from tests.conftest import digraphs
+
+
+def test_higher_order_descendants_definition_5():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    order = VertexOrder([1, 0, 2])  # ord(1) > ord(0) > ord(2)
+    assert higher_order_descendants(g, 0, order) == {1}
+    assert higher_order_descendants(g, 1, order) == set()
+    assert higher_order_descendants(g, 2, order) == set()
+
+
+def test_backward_sets_of_isolated_vertex():
+    g = DiGraph(2, [])
+    order = VertexOrder([0, 1])
+    assert backward_in_labels_naive(g, 0, order) == {0}
+    assert backward_in_labels_basic(g, 1, order) == {1}
+
+
+def test_highest_order_vertex_owns_its_descendants():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    order = VertexOrder([0, 1, 2, 3])
+    assert backward_in_labels_naive(g, 0, order) == {0, 1, 2, 3}
+
+
+def test_self_excluded_when_cycle_has_higher_vertex():
+    """Theorem 1 with w = v: a higher-order vertex on a cycle through
+    v removes v from its own backward set."""
+    g = DiGraph(2, [(0, 1), (1, 0)])
+    order = VertexOrder([1, 0])  # vertex 1 is higher order
+    assert backward_in_labels_naive(g, 0, order) == set()
+    assert backward_in_labels_basic(g, 0, order) == set()
+    assert backward_in_labels_improved(g, order)[0] == set()
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_theorems_2_3_4_agree(g):
+    order = degree_order(g)
+    improved = backward_in_labels_improved(g, order)
+    for v in range(g.num_vertices):
+        naive = backward_in_labels_naive(g, v, order)
+        basic = backward_in_labels_basic(g, v, order)
+        assert naive == basic == improved[v], v
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_backward_sets_invert_to_tol_index(g):
+    order = degree_order(g)
+    backward_in, backward_out = backward_label_sets(g, order)
+    rebuilt = ReachabilityIndex.from_backward_sets(
+        g.num_vertices, backward_in, backward_out
+    )
+    assert rebuilt == tol_index_reference(g, order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_theorem_1_direct(g):
+    """w ∈ L⁻_in(v) iff v is the highest-order vertex on every v-w walk.
+
+    The walk criterion is checked independently: w survives iff w is
+    reachable from v using only vertices of order < ord(v) (apart from
+    v itself) AND no higher-order vertex u satisfies v -> u -> w.
+    """
+    order = degree_order(g)
+    improved = backward_in_labels_improved(g, order)
+    reach = {v: reachable_set(g, v) for v in g.vertices()}
+    for v in range(g.num_vertices):
+        for w in range(g.num_vertices):
+            higher_on_walk = any(
+                order.higher(u, v) and u in reach[v] and w in reach[u]
+                for u in g.vertices()
+            )
+            expected = w in reach[v] and not higher_on_walk
+            assert (w in improved[v]) == expected, (v, w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_out_direction_is_in_on_reverse(g):
+    order = degree_order(g)
+    _, backward_out = backward_label_sets(g, order)
+    reverse_in = backward_in_labels_improved(g.reverse(), order)
+    assert backward_out == reverse_in

@@ -1,0 +1,136 @@
+"""Tests for the experiment harness and result tables."""
+
+import pytest
+
+from repro.bench.harness import (
+    run_ablation_check_pruning,
+    run_fig5_comm_comp,
+    run_fig8_batch_size,
+    run_fig9_factor_k,
+    run_table6,
+)
+from repro.bench.results import Cell, ExperimentTable
+from repro.pregel.cost_model import paper_scale_model
+
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+def test_cell_markers():
+    assert Cell.unavailable().format() == "-"
+    assert Cell.timeout().format() == "INF"
+    assert not Cell.unavailable().ok
+    assert Cell(1.5).ok
+
+
+def test_cell_formatting():
+    assert Cell(1.23456).format(precision=2) == "1.23"
+    assert Cell(0.00012).format(scientific=True) == "1.20e-04"
+    assert Cell().format() == ""
+
+
+def test_table_set_get_render():
+    table = ExperimentTable("T", ["a", "b"])
+    table.set("row1", "a", 1.0)
+    table.set("row1", "b", Cell.timeout())
+    table.set("row2", "a", Cell.unavailable())
+    assert table.get("row1", "a").value == 1.0
+    assert table.get("row2", "b").marker is None  # missing -> empty cell
+    text = table.render()
+    assert "T" in text and "row1" in text and "INF" in text and "-" in text
+
+
+def test_table_rejects_unknown_column():
+    table = ExperimentTable("T", ["a"])
+    with pytest.raises(KeyError):
+        table.set("r", "nope", 1.0)
+
+
+def test_table_to_markdown():
+    table = ExperimentTable("T", ["a", "b"])
+    table.set("r1", "a", 1.5)
+    table.set("r1", "b", Cell.unavailable())
+    md = table.to_markdown()
+    lines = md.splitlines()
+    assert lines[0] == "| Name | a | b |"
+    assert lines[1].startswith("|---")
+    assert "| r1 | 1.5000 | - |" in md
+
+
+def test_table_to_csv():
+    table = ExperimentTable("T", ["a"])
+    table.set("r1", "a", 0.25)
+    table.set("r2", "a", Cell.timeout())
+    csv_text = table.to_csv()
+    assert "name,a" in csv_text
+    assert "r1,0.25" in csv_text
+    assert "r2,INF" in csv_text
+
+
+def test_table_column_values_skip_markers():
+    table = ExperimentTable("T", ["a"])
+    table.set("r1", "a", 2.0)
+    table.set("r2", "a", Cell.timeout())
+    table.set("r3", "a", 3.0)
+    assert table.column_values("a") == [2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# Harness smoke runs (single small dataset to keep tests fast)
+# ----------------------------------------------------------------------
+def test_table6_single_dataset_shape():
+    time_t, size_t, query_t = run_table6(dataset_names=["TW"], num_queries=50)
+    assert time_t.rows == ["TW"]
+    for table in (time_t, size_t, query_t):
+        assert table.columns == ["BFL^C", "BFL^D", "TOL", "DRL_b", "DRL_b^M"]
+        assert all(table.get("TW", c).ok for c in table.columns)
+    # Same index as TOL: identical size and query time columns.
+    assert size_t.get("TW", "TOL").value == size_t.get("TW", "DRL_b").value
+    assert query_t.get("TW", "TOL").value == query_t.get("TW", "DRL_b").value
+
+
+def test_table6_respects_paper_unavailability():
+    time_t, _size_t, _query_t = run_table6(
+        dataset_names=["SINA"], num_queries=20
+    )
+    assert time_t.get("SINA", "TOL").marker == "-"
+    assert time_t.get("SINA", "DRL_b^M").marker == "-"
+    assert time_t.get("SINA", "BFL^C").ok
+    assert time_t.get("SINA", "DRL_b").ok
+
+
+def test_fig5_single_dataset():
+    table = run_fig5_comm_comp(dataset_names=["GO"])
+    assert table.rows == ["GO"]
+    assert table.get("GO", "DRL comp").ok
+    assert table.get("GO", "DRL_b comm").ok
+
+
+def test_fig8_and_fig9_small_sweeps():
+    fig8 = run_fig8_batch_size(dataset_names=["GO"], b_values=(1, 4))
+    assert fig8.columns == ["b=1", "b=4"]
+    assert all(fig8.get("GO", c).ok for c in fig8.columns)
+    fig9 = run_fig9_factor_k(dataset_names=["GO"], k_values=(2, 4))
+    assert all(fig9.get("GO", c).ok for c in fig9.columns)
+
+
+def test_fig9_k1_much_slower():
+    table = run_fig9_factor_k(dataset_names=["GO"], k_values=(1, 2))
+    k1 = table.get("GO", "k=1")
+    k2 = table.get("GO", "k=2")
+    assert k2.ok
+    assert (not k1.ok) or k1.value > 2 * k2.value
+
+
+def test_ablation_check_pruning_helps_on_social():
+    table = run_ablation_check_pruning(dataset_names=["TW"])
+    with_check = table.get("TW", "with Check")
+    without = table.get("TW", "without Check")
+    assert with_check.ok
+    assert (not without.ok) or without.value > with_check.value
+
+
+def test_timeout_markers_appear_under_tight_cutoff():
+    model = paper_scale_model(time_limit_seconds=1e-9)
+    table = run_fig5_comm_comp(dataset_names=["GO"], cost_model=model)
+    assert table.get("GO", "DRL comp").marker == "INF"

@@ -1,0 +1,151 @@
+"""Tests for BFL^C and BFL^D."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bfl import BflIndex, build_bfl
+from repro.baselines.bfl_distributed import build_bfl_distributed
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.errors import OutOfMemoryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_graph,
+    random_digraph,
+    social_graph,
+)
+from repro.pregel.cost_model import CostModel
+from repro.pregel.serial import SerialMeter
+from tests.conftest import digraphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_bfl_always_correct(g):
+    """BFL never returns a wrong answer (labels + fallback search)."""
+    oracle = TransitiveClosure(g)
+    bfl = build_bfl(g, seed=3)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert bfl.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs())
+def test_property_negative_label_answers_sound(g):
+    """When the labels alone answer, the answer must be right."""
+    oracle = TransitiveClosure(g)
+    bfl = build_bfl(g, seed=4)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            answer, fallback = bfl.query_verbose(s, t)
+            if not fallback:
+                assert answer == oracle.query(s, t)
+
+
+def test_same_scc_is_immediate():
+    g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+    bfl = build_bfl(g)
+    answer, fallback = bfl.query_verbose(0, 1)
+    assert answer and not fallback
+
+
+def test_tree_descendant_answered_by_interval():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    bfl = build_bfl(g)
+    answer, fallback = bfl.query_verbose(0, 3)
+    assert answer and not fallback
+
+
+def test_bloom_width_affects_size():
+    g = social_graph(300, seed=5)
+    narrow = build_bfl(g, s_bits=64)
+    wide = build_bfl(g, s_bits=512)
+    assert wide.size_bytes() > narrow.size_bytes()
+    oracle = TransitiveClosure(g)
+    for s in range(0, 300, 37):
+        for t in range(0, 300, 41):
+            assert narrow.query(s, t) == oracle.query(s, t)
+            assert wide.query(s, t) == oracle.query(s, t)
+
+
+def test_meter_charges_build_and_query():
+    g = citation_graph(200, seed=6)
+    cm = CostModel(time_limit_seconds=None)
+    meter = SerialMeter(cm)
+    bfl = build_bfl(g, meter=meter)
+    assert meter.units > g.num_edges
+    qmeter = SerialMeter(cm)
+    bfl.query(0, 150, meter=qmeter)
+    assert qmeter.units >= 2
+
+
+def test_memory_gate():
+    g = social_graph(200, seed=7)
+    with pytest.raises(OutOfMemoryError):
+        build_bfl(g, meter=SerialMeter(CostModel(node_memory_bytes=64)))
+
+
+def test_size_bytes_formula():
+    g = DiGraph(3, [(0, 1)])  # 3 singleton components
+    bfl = build_bfl(g, s_bits=160)
+    assert bfl.size_bytes() == 3 * (2 * 20 + 16) + 4 * 3
+
+
+def test_deterministic_given_seed():
+    g = random_digraph(60, 200, seed=8)
+    a = build_bfl(g, seed=1)
+    b = build_bfl(g, seed=1)
+    assert a._bloom_out == b._bloom_out
+    assert a._bloom_in == b._bloom_in
+
+
+# ----------------------------------------------------------------------
+# Distributed BFL
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(digraphs())
+def test_property_bfl_distributed_matches_centralized(g):
+    central = build_bfl(g, seed=9)
+    distributed, _stats = build_bfl_distributed(g, num_nodes=4, seed=9)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert distributed.query(s, t) == central.query(s, t)
+
+
+def test_distributed_build_charges_hops():
+    g = social_graph(400, seed=10)
+    _index, stats = build_bfl_distributed(g, num_nodes=8)
+    assert stats.remote_messages > 0
+    assert stats.communication_seconds > 0
+    assert stats.computation_seconds > 0
+
+
+def test_distributed_single_node_no_hops():
+    g = social_graph(200, seed=11)
+    _index, stats = build_bfl_distributed(g, num_nodes=1)
+    assert stats.remote_messages == 0
+    assert stats.communication_seconds == 0.0
+
+
+def test_distributed_query_cost_positive_and_higher_when_traversing():
+    g = social_graph(500, seed=12)
+    index, _stats = build_bfl_distributed(g, num_nodes=8)
+    # All queries pay at least the label fetch.
+    _answer, cheap = index.query_with_cost(0, 0)
+    assert cheap > 0
+    costs = []
+    for s in range(0, 500, 23):
+        for t in range(0, 500, 29):
+            answer, seconds = index.query_with_cost(s, t)
+            costs.append(seconds)
+    assert max(costs) > min(costs)  # some queries needed the graph
+
+
+def test_distributed_respects_time_limit():
+    from repro.errors import TimeLimitExceeded
+
+    g = social_graph(400, seed=13)
+    with pytest.raises(TimeLimitExceeded):
+        build_bfl_distributed(
+            g, num_nodes=8, cost_model=CostModel(time_limit_seconds=1e-9)
+        )

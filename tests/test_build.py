@@ -1,0 +1,59 @@
+"""Tests for the build_index façade."""
+
+import pytest
+
+from repro.core.build import METHOD_NAMES, build_index
+from repro.core.tol import tol_index_reference
+from repro.graph.generators import random_digraph
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import CostModel
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+def test_all_methods_return_the_same_index():
+    g = random_digraph(60, 180, seed=1)
+    order = degree_order(g)
+    expected = tol_index_reference(g, order)
+    for method in METHOD_NAMES:
+        result = build_index(
+            g, method=method, order=order, num_nodes=4, cost_model=_NO_LIMIT
+        )
+        assert result.index == expected, method
+        assert result.stats.compute_units > 0, method
+
+
+def test_method_names_cover_the_paper():
+    assert set(METHOD_NAMES) == {"tol", "drl-", "drl", "drl-b", "drl-b-m"}
+
+
+def test_unknown_method_rejected():
+    g = random_digraph(10, 20, seed=2)
+    with pytest.raises(ValueError, match="unknown method"):
+        build_index(g, method="magic")
+
+
+def test_default_method_is_drl_b():
+    g = random_digraph(40, 100, seed=3)
+    default = build_index(g, cost_model=_NO_LIMIT)
+    explicit = build_index(g, method="drl-b", cost_model=_NO_LIMIT)
+    assert default.index == explicit.index
+
+
+def test_kwargs_forwarded():
+    g = random_digraph(40, 100, seed=4)
+    result = build_index(
+        g,
+        method="drl-b",
+        initial_batch_size=4,
+        growth_factor=3.0,
+        cost_model=_NO_LIMIT,
+    )
+    assert result.index == tol_index_reference(g, degree_order(g))
+
+
+def test_tol_reports_single_node_stats():
+    g = random_digraph(40, 100, seed=5)
+    result = build_index(g, method="tol", cost_model=_NO_LIMIT)
+    assert result.stats.num_nodes == 1
+    assert result.stats.communication_seconds == 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+def test_build_empty():
+    assert GraphBuilder().build().num_vertices == 0
+    assert GraphBuilder(num_vertices=5).build().num_vertices == 5
+
+
+def test_vertex_count_inferred():
+    g = GraphBuilder().add_edge(0, 7).build()
+    assert g.num_vertices == 8
+    assert g.num_edges == 1
+
+
+def test_dedup_default():
+    builder = GraphBuilder()
+    builder.add_edge(0, 1).add_edge(0, 1).add_edge(1, 0)
+    assert builder.num_edges == 2
+    assert builder.build().num_edges == 2
+
+
+def test_dedup_disabled():
+    builder = GraphBuilder(dedup=False)
+    builder.add_edge(0, 1).add_edge(0, 1)
+    assert builder.build().num_edges == 2
+
+
+def test_self_loops_dropped_by_default():
+    g = GraphBuilder().add_edge(0, 0).add_edge(0, 1).build()
+    assert g.num_edges == 1
+    assert not g.has_edge(0, 0)
+
+
+def test_self_loops_kept_when_allowed():
+    g = GraphBuilder(allow_self_loops=True).add_edge(0, 0).build()
+    assert g.has_edge(0, 0)
+
+
+def test_add_edges_bulk():
+    g = GraphBuilder().add_edges([(0, 1), (1, 2), (2, 0)]).build()
+    assert g.num_edges == 3
+
+
+def test_negative_ids_rejected():
+    with pytest.raises(ValueError):
+        GraphBuilder().add_edge(-1, 0)
+    with pytest.raises(ValueError):
+        GraphBuilder().add_edge(0, -2)
+
+
+def test_fixed_vertex_count_enforced():
+    builder = GraphBuilder(num_vertices=3)
+    builder.add_edge(0, 5)
+    with pytest.raises(ValueError):
+        builder.build()
+
+
+def test_chaining_returns_builder():
+    builder = GraphBuilder()
+    assert builder.add_edge(0, 1) is builder
+    assert builder.add_edges([(1, 2)]) is builder

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.labels import ReachabilityIndex
+from repro.graph.io import read_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    assert main(["generate", str(path), "--kind", "social",
+                 "--vertices", "200", "--seed", "1"]) == 0
+    return path
+
+
+@pytest.fixture
+def index_file(tmp_path, graph_file):
+    path = tmp_path / "graph.idx"
+    assert main(["build", str(graph_file), "-o", str(path)]) == 0
+    return path
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "WEBW" in out and "WEBS" in out
+    assert out.count("yes") == 6  # the six medium graphs
+
+
+def test_generate_writes_edge_list(graph_file):
+    graph = read_edge_list(graph_file)
+    assert graph.num_vertices == 200
+    assert graph.num_edges > 100
+
+
+def test_generate_all_kinds(tmp_path):
+    for kind in ("web", "citation", "knowledge", "random", "dag"):
+        path = tmp_path / f"{kind}.txt"
+        assert main(["generate", str(path), "--kind", kind,
+                     "--vertices", "50", "--seed", "2"]) == 0
+        assert read_edge_list(path).num_vertices <= 50 or True
+
+
+def test_build_and_info(graph_file, index_file, capsys):
+    index = ReachabilityIndex.load(index_file)
+    assert index.num_vertices == 200
+    assert main(["info", str(index_file)]) == 0
+    out = capsys.readouterr().out
+    assert "vertices:      200" in out
+    assert "label entries" in out
+
+
+def test_build_methods(tmp_path, graph_file):
+    indexes = []
+    for method in ("tol", "drl", "drl-b"):
+        out = tmp_path / f"{method}.idx"
+        assert main(["build", str(graph_file), "-o", str(out),
+                     "--method", method, "--nodes", "4"]) == 0
+        indexes.append(ReachabilityIndex.load(out))
+    assert indexes[0] == indexes[1] == indexes[2]
+
+
+def test_build_missing_file(tmp_path, capsys):
+    missing = tmp_path / "nope.txt"
+    assert main(["build", str(missing), "-o", str(tmp_path / "x.idx")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_query_single_pair(index_file, capsys):
+    assert main(["query", str(index_file), "0", "0"]) == 0
+    assert "0 0 reachable" in capsys.readouterr().out
+
+
+def test_query_pairs_file(tmp_path, index_file, capsys):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text("0 0\n0 199\n500 0\n")
+    assert main(["query", str(index_file), "--pairs", str(pairs)]) == 0
+    out = capsys.readouterr().out
+    assert "0 0 reachable" in out
+    assert "500 0 out-of-range" in out
+
+
+def test_query_requires_arguments(index_file, capsys):
+    assert main(["query", str(index_file)]) == 2
+    assert "SOURCE TARGET" in capsys.readouterr().err
+
+
+def test_query_missing_index(tmp_path, capsys):
+    assert main(["query", str(tmp_path / "missing.idx"), "0", "1"]) == 2
+
+
+def test_info_missing_index(tmp_path):
+    assert main(["info", str(tmp_path / "missing.idx")]) == 2
+
+
+def test_analyze(graph_file, capsys):
+    assert main(["analyze", str(graph_file)]) == 0
+    out = capsys.readouterr().out
+    assert "vertices: 200" in out
+    assert "bow-tie" in out
+    assert "SCCs" in out
+
+
+def test_analyze_missing_file(tmp_path):
+    assert main(["analyze", str(tmp_path / "none.txt")]) == 2
+
+
+def test_validate_good_index(graph_file, index_file, capsys):
+    assert main(["validate", str(graph_file), str(index_file),
+                 "--sample", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "cover:     500 pairs checked, OK" in out
+    assert "soundness:" in out
+
+
+def test_validate_detects_wrong_index(tmp_path, graph_file, capsys):
+    # An index built for a DIFFERENT graph fails validation.
+    other = tmp_path / "other.txt"
+    main(["generate", str(other), "--kind", "social",
+          "--vertices", "200", "--seed", "99"])
+    wrong_index = tmp_path / "wrong.idx"
+    main(["build", str(other), "-o", str(wrong_index)])
+    code = main(["validate", str(graph_file), str(wrong_index)])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_validate_missing_files(tmp_path, index_file):
+    assert main(["validate", str(tmp_path / "no.txt"), str(index_file)]) == 2
+
+
+def test_bench_fig8_single_dataset(capsys):
+    assert main(["bench", "fig8", "--datasets", "GO"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 8" in out and "GO" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,83 @@
+"""Tests for index collection planning and super-step tracing."""
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.collect import plan_collection
+from repro.core.drl import DrlFloodProgram
+from repro.graph.generators import random_digraph
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import CostModel
+from repro.pregel.engine import Cluster
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+# ----------------------------------------------------------------------
+# Collection planning
+# ----------------------------------------------------------------------
+def test_collection_single_node_ships_nothing():
+    g = random_digraph(50, 150, seed=1)
+    index = build_index(g, cost_model=_NO_LIMIT).index
+    plan = plan_collection(index, num_nodes=1)
+    assert plan.total_bytes == 0
+    assert plan.fits_in_memory
+
+
+def test_collection_many_nodes_ships_most_of_the_index():
+    g = random_digraph(50, 150, seed=1)
+    index = build_index(g, cost_model=_NO_LIMIT).index
+    plan = plan_collection(index, num_nodes=32)
+    expected = index.size_bytes() * 31 // 32
+    assert plan.total_bytes == expected
+    assert plan.seconds > 0
+
+
+def test_collection_memory_flag():
+    g = random_digraph(50, 150, seed=1)
+    index = build_index(g, cost_model=_NO_LIMIT).index
+    tiny = CostModel(node_memory_bytes=8)
+    assert not plan_collection(index, 4, tiny).fits_in_memory
+
+
+def test_collection_invalid_nodes():
+    g = random_digraph(10, 20, seed=2)
+    index = build_index(g, cost_model=_NO_LIMIT).index
+    with pytest.raises(ValueError):
+        plan_collection(index, 0)
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+def test_trace_off_by_default():
+    g = random_digraph(40, 120, seed=3)
+    program = DrlFloodProgram(g, degree_order(g))
+    stats = Cluster(num_nodes=4, cost_model=_NO_LIMIT).run(g, program)
+    assert stats.trace == []
+
+
+def test_trace_records_every_superstep():
+    g = random_digraph(40, 120, seed=3)
+    program = DrlFloodProgram(g, degree_order(g))
+    stats = Cluster(num_nodes=4, cost_model=_NO_LIMIT).run(
+        g, program, trace=True
+    )
+    # The finalize pass adds one superstep without a trace row.
+    assert len(stats.trace) in (stats.supersteps, stats.supersteps - 1)
+    assert stats.trace[0].superstep == 1
+    assert stats.trace[0].active_vertices == g.num_vertices
+    assert sum(row.compute_units for row in stats.trace) <= stats.compute_units
+    for row in stats.trace:
+        assert row.max_node_units <= row.compute_units
+        assert row.remote_bytes >= 0
+
+
+def test_trace_activity_wanes():
+    """The flood's active set eventually shrinks to nothing."""
+    g = random_digraph(60, 180, seed=4)
+    program = DrlFloodProgram(g, degree_order(g))
+    stats = Cluster(num_nodes=2, cost_model=_NO_LIMIT).run(
+        g, program, trace=True
+    )
+    assert stats.trace[-1].active_vertices <= stats.trace[1].active_vertices

@@ -1,0 +1,63 @@
+"""Tests for SCC-condensed indexing."""
+
+from hypothesis import given, settings
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.condensed import build_condensed_index
+from repro.core.build import build_index
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import social_graph
+from repro.pregel.cost_model import CostModel
+from tests.conftest import digraphs
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_answers_match_direct_index(g):
+    condensed, _result = build_condensed_index(g, cost_model=_NO_LIMIT)
+    direct = build_index(g, cost_model=_NO_LIMIT).index
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert condensed.query(s, t) == direct.query(s, t), (s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_answers_match_oracle(g):
+    oracle = TransitiveClosure(g)
+    condensed, _result = build_condensed_index(g, method="tol", cost_model=_NO_LIMIT)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert condensed.query(s, t) == oracle.query(s, t)
+
+
+def test_cyclic_graph_shrinks_label_storage():
+    g = social_graph(600, seed=3, reciprocity=0.5)  # big SCC core
+    condensed, _result = build_condensed_index(g, cost_model=_NO_LIMIT)
+    direct = build_index(g, cost_model=_NO_LIMIT).index
+    assert condensed.num_components < g.num_vertices
+    assert condensed.dag_index.num_entries < direct.num_entries
+
+
+def test_component_mapping():
+    g = DiGraph(4, [(0, 1), (1, 0), (2, 3)])
+    condensed, _result = build_condensed_index(g, cost_model=_NO_LIMIT)
+    assert condensed.component_of(0) == condensed.component_of(1)
+    assert condensed.component_of(2) != condensed.component_of(3)
+    assert condensed.num_vertices == 4
+    assert condensed.num_components == 3
+    assert condensed.size_bytes() > 0
+
+
+def test_method_forwarding():
+    g = social_graph(200, seed=4)
+    for method in ("tol", "drl", "drl-b"):
+        condensed, result = build_condensed_index(
+            g, method=method, cost_model=_NO_LIMIT
+        )
+        assert condensed.query(0, 50) == build_index(
+            g, cost_model=_NO_LIMIT
+        ).index.query(0, 50)
+        assert result.stats.compute_units > 0

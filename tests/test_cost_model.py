@@ -1,0 +1,110 @@
+"""Tests for the cost model, serial meter, and failure gates."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, TimeLimitExceeded
+from repro.pregel.cost_model import (
+    GIB,
+    SCALED_CUTOFF_SECONDS,
+    CostModel,
+    mpi_cluster_model,
+    paper_scale_model,
+    shared_memory_model,
+)
+from repro.pregel.serial import SerialMeter
+
+
+def test_defaults_are_sane():
+    cm = CostModel()
+    assert cm.t_op > 0
+    assert cm.t_byte >= 0
+    assert cm.node_memory_bytes == 32 * GIB
+    assert cm.time_limit_seconds == 7200.0
+
+
+def test_check_memory():
+    cm = CostModel(node_memory_bytes=100)
+    cm.check_memory(100)
+    with pytest.raises(OutOfMemoryError) as info:
+        cm.check_memory(101, what="TOL")
+    assert "TOL" in str(info.value)
+    assert info.value.required_bytes == 101
+
+
+def test_check_time():
+    cm = CostModel(time_limit_seconds=1.0)
+    cm.check_time(1.0)
+    with pytest.raises(TimeLimitExceeded) as info:
+        cm.check_time(1.5)
+    assert info.value.elapsed_seconds == 1.5
+    assert info.value.limit_seconds == 1.0
+
+
+def test_no_time_limit():
+    CostModel(time_limit_seconds=None).check_time(1e9)
+
+
+def test_with_time_limit_copies():
+    cm = CostModel(time_limit_seconds=5.0)
+    relaxed = cm.with_time_limit(None)
+    assert relaxed.time_limit_seconds is None
+    assert cm.time_limit_seconds == 5.0
+    assert relaxed.t_op == cm.t_op
+
+
+def test_presets():
+    assert mpi_cluster_model().t_byte > 0
+    shared = shared_memory_model()
+    assert shared.t_byte == 0.0
+    assert shared.t_barrier < mpi_cluster_model().t_barrier
+    scaled = paper_scale_model()
+    assert scaled.time_limit_seconds == SCALED_CUTOFF_SECONDS
+    assert scaled.t_barrier < mpi_cluster_model().t_barrier
+    assert scaled.t_hop < CostModel().t_hop
+
+
+def test_preset_overrides():
+    cm = paper_scale_model(time_limit_seconds=None, t_op=1.0)
+    assert cm.time_limit_seconds is None
+    assert cm.t_op == 1.0
+
+
+def test_serial_meter_accumulates():
+    meter = SerialMeter(CostModel(t_op=0.5, time_limit_seconds=None))
+    meter.charge(4)
+    meter.charge()
+    assert meter.units == 5
+    assert meter.simulated_seconds == 2.5
+    stats = meter.stats()
+    assert stats.compute_units == 5
+    assert stats.computation_seconds == 2.5
+    assert stats.num_nodes == 1
+    assert stats.per_node_units == [5]
+    assert stats.simulated_seconds == 2.5
+
+
+def test_serial_meter_time_limit_fires_during_charging():
+    meter = SerialMeter(CostModel(t_op=1.0, time_limit_seconds=2.0))
+    with pytest.raises(TimeLimitExceeded):
+        for _ in range(100):
+            meter.charge(1)
+
+
+def test_serial_meter_time_limit_fires_at_stats():
+    cm = CostModel(t_op=1.0, time_limit_seconds=2.0)
+    meter = SerialMeter(cm)
+    meter._units = 3  # below the periodic check threshold
+    with pytest.raises(TimeLimitExceeded):
+        meter.stats()
+
+
+def test_serial_meter_memory_gate():
+    meter = SerialMeter(CostModel(node_memory_bytes=10))
+    with pytest.raises(OutOfMemoryError):
+        meter.check_memory(11)
+
+
+def test_frozen_dataclass():
+    cm = CostModel()
+    with pytest.raises(AttributeError):
+        cm.t_op = 1.0

@@ -1,0 +1,35 @@
+"""Dataset-level regression: every medium stand-in builds an exact,
+cover-correct index through the distributed pipeline."""
+
+import pytest
+
+from repro.core.build import build_index
+from repro.core.tol import tol_index
+from repro.core.validate import check_cover
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import CostModel
+from repro.workloads.datasets import MEDIUM_DATASETS, get_dataset
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+@pytest.mark.parametrize("name", MEDIUM_DATASETS)
+def test_medium_dataset_drlb_exact_and_covering(name):
+    graph = get_dataset(name).load()
+    order = degree_order(graph)
+    result = build_index(
+        graph, method="drl-b", order=order, num_nodes=32, cost_model=_NO_LIMIT
+    )
+    assert result.index == tol_index(graph, order), name
+    assert check_cover(result.index, graph, sample=1500, seed=42).ok, name
+    # Distributed accounting happened.
+    assert result.stats.remote_messages > 0
+    assert result.stats.supersteps > 1
+
+
+@pytest.mark.parametrize("name", ("SINA", "GRPH", "SK"))
+def test_large_dataset_drlb_covering(name):
+    """Large stand-ins (no TOL rerun — just cover correctness)."""
+    graph = get_dataset(name).load()
+    result = build_index(graph, method="drl-b", cost_model=_NO_LIMIT)
+    assert check_cover(result.index, graph, sample=800, seed=7).ok, name

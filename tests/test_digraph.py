@@ -1,0 +1,160 @@
+"""Unit tests for the CSR DiGraph."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.digraph import DiGraph
+from tests.conftest import digraphs
+
+
+def test_empty_graph():
+    g = DiGraph(0, [])
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+    assert list(g.edges()) == []
+
+
+def test_single_vertex_no_edges():
+    g = DiGraph(1, [])
+    assert g.num_vertices == 1
+    assert list(g.out_neighbors(0)) == []
+    assert list(g.in_neighbors(0)) == []
+    assert g.out_degree(0) == 0
+    assert g.in_degree(0) == 0
+
+
+def test_basic_adjacency():
+    g = DiGraph(4, [(0, 1), (0, 2), (1, 2), (3, 0)])
+    assert g.num_edges == 4
+    assert sorted(g.out_neighbors(0)) == [1, 2]
+    assert list(g.out_neighbors(3)) == [0]
+    assert sorted(g.in_neighbors(2)) == [0, 1]
+    assert sorted(g.in_neighbors(0)) == [3]
+    assert g.out_degree(0) == 2
+    assert g.in_degree(2) == 2
+
+
+def test_has_edge():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+    assert not g.has_edge(0, 2)
+
+
+def test_parallel_edges_are_kept():
+    g = DiGraph(2, [(0, 1), (0, 1)])
+    assert g.num_edges == 2
+    assert list(g.out_neighbors(0)) == [1, 1]
+
+
+def test_self_loop_allowed():
+    g = DiGraph(2, [(0, 0)])
+    assert g.has_edge(0, 0)
+    assert g.in_degree(0) == g.out_degree(0) == 1
+
+
+def test_out_of_range_edge_rejected():
+    with pytest.raises(ValueError):
+        DiGraph(2, [(0, 2)])
+    with pytest.raises(ValueError):
+        DiGraph(2, [(-1, 0)])
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(ValueError):
+        DiGraph(-1, [])
+
+
+def test_edges_iteration_source_major():
+    edges = [(2, 0), (0, 1), (1, 2), (0, 2)]
+    g = DiGraph(3, edges)
+    listed = list(g.edges())
+    assert sorted(listed) == sorted(edges)
+    # Source-major order.
+    assert [u for u, _ in listed] == sorted(u for u, _ in edges)
+
+
+def test_reverse_swaps_directions():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    r = g.reverse()
+    assert sorted(r.edges()) == [(1, 0), (2, 1)]
+    assert list(r.out_neighbors(1)) == [0]
+    assert list(r.in_neighbors(1)) == [2]
+
+
+def test_reverse_is_view_cheap_and_involutive():
+    g = DiGraph(4, [(0, 1), (2, 3), (3, 0)])
+    assert g.reverse().reverse() == g
+
+
+def test_equality_ignores_edge_order():
+    a = DiGraph(3, [(0, 1), (1, 2)])
+    b = DiGraph(3, [(1, 2), (0, 1)])
+    assert a == b
+    assert a != DiGraph(3, [(0, 1)])
+    assert a != DiGraph(4, [(0, 1), (1, 2)])
+    assert a.__eq__(42) is NotImplemented
+
+
+def test_edge_fraction_bounds():
+    g = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    assert g.edge_fraction(0.0).num_edges == 0
+    assert g.edge_fraction(1.0).num_edges == 4
+    assert g.edge_fraction(0.5).num_edges == 2
+    with pytest.raises(ValueError):
+        g.edge_fraction(1.5)
+    with pytest.raises(ValueError):
+        g.edge_fraction(-0.1)
+
+
+def test_edge_fraction_prefix_property():
+    """The i-th test graph contains the (i-1)-th's edges (Exp 6)."""
+    g = DiGraph(20, [(i, (i + 1) % 20) for i in range(20)])
+    previous: set = set()
+    for fraction in (0.2, 0.4, 0.6, 0.8, 1.0):
+        edges = set(g.edge_fraction(fraction, seed=3).edges())
+        assert previous <= edges
+        previous = edges
+
+
+def test_edge_fraction_deterministic():
+    g = DiGraph(10, [(i, (i + 3) % 10) for i in range(10)])
+    a = g.edge_fraction(0.5, seed=1)
+    b = g.edge_fraction(0.5, seed=1)
+    assert a == b
+
+
+def test_induced_subgraph():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    sub = g.induced_subgraph([True, True, False, True])
+    assert sub.num_vertices == 4  # ids preserved
+    assert sorted(sub.edges()) == [(0, 1)]
+    with pytest.raises(ValueError):
+        g.induced_subgraph([True])
+
+
+def test_memory_bytes_positive_and_monotone():
+    small = DiGraph(10, [(0, 1)])
+    large = DiGraph(10, [(i, (i + 1) % 10) for i in range(10)])
+    assert 0 < small.memory_bytes() < large.memory_bytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_degree_sums_match_edge_count(g):
+    assert sum(g.out_degree(v) for v in g.vertices()) == g.num_edges
+    assert sum(g.in_degree(v) for v in g.vertices()) == g.num_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_reverse_preserves_edge_multiset(g):
+    assert sorted(g.reverse().edges()) == sorted((v, u) for u, v in g.edges())
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_neighbor_consistency(g):
+    for u, v in g.edges():
+        assert v in g.out_neighbors(u)
+        assert u in g.in_neighbors(v)

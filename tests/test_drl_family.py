@@ -1,0 +1,223 @@
+"""Tests for DRL⁻, DRL, DRL_b, DRL_b^M: all must equal TOL exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drl import drl_index
+from repro.core.drl_basic import drl_basic_index
+from repro.core.drl_batch import drl_batch_index
+from repro.core.multicore import drl_multicore_index
+from repro.core.tol import tol_index_reference
+from repro.errors import OutOfMemoryError, TimeLimitExceeded
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph, social_graph, web_graph
+from repro.graph.order import degree_order, random_order
+from repro.pregel.cost_model import CostModel, shared_memory_model
+from tests.conftest import digraphs
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+# ----------------------------------------------------------------------
+# Exact index equality with TOL
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(digraphs(), st.sampled_from([1, 2, 5, 32]))
+def test_property_drl_equals_tol(g, num_nodes):
+    order = degree_order(g)
+    expected = tol_index_reference(g, order)
+    result = drl_index(g, order, num_nodes=num_nodes, cost_model=_NO_LIMIT)
+    assert result.index == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_drl_basic_equals_tol(g):
+    order = degree_order(g)
+    expected = tol_index_reference(g, order)
+    result = drl_basic_index(g, order, num_nodes=4, cost_model=_NO_LIMIT)
+    assert result.index == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    digraphs(),
+    st.sampled_from([1, 2, 3, 7]),
+    st.sampled_from([1.0, 1.5, 2.0, 3.0]),
+)
+def test_property_drl_batch_equals_tol(g, b, k):
+    order = degree_order(g)
+    expected = tol_index_reference(g, order)
+    result = drl_batch_index(
+        g,
+        order,
+        num_nodes=4,
+        initial_batch_size=b,
+        growth_factor=k,
+        cost_model=_NO_LIMIT,
+    )
+    assert result.index == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_property_drl_without_check_pruning_still_exact(g):
+    order = degree_order(g)
+    expected = tol_index_reference(g, order)
+    result = drl_index(
+        g, order, num_nodes=4, check_pruning=False, cost_model=_NO_LIMIT
+    )
+    assert result.index == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_property_random_order_equality(g):
+    order = random_order(g, seed=99)
+    expected = tol_index_reference(g, order)
+    assert drl_index(g, order, num_nodes=4, cost_model=_NO_LIMIT).index == expected
+    assert (
+        drl_batch_index(g, order, num_nodes=4, cost_model=_NO_LIMIT).index
+        == expected
+    )
+
+
+def test_medium_graphs_end_to_end():
+    for factory, seed in ((social_graph, 21), (web_graph, 22)):
+        g = factory(700, seed=seed)
+        order = degree_order(g)
+        expected = tol_index_reference(g, order)
+        assert drl_index(g, order, cost_model=_NO_LIMIT).index == expected
+        assert drl_batch_index(g, order, cost_model=_NO_LIMIT).index == expected
+
+
+# ----------------------------------------------------------------------
+# Determinism and node-count invariance
+# ----------------------------------------------------------------------
+def test_index_identical_across_node_counts():
+    g = random_digraph(120, 400, seed=8)
+    order = degree_order(g)
+    results = [
+        drl_batch_index(g, order, num_nodes=n, cost_model=_NO_LIMIT).index
+        for n in (1, 2, 8, 32)
+    ]
+    assert all(index == results[0] for index in results)
+
+
+def test_work_counts_deterministic():
+    g = random_digraph(100, 300, seed=9)
+    order = degree_order(g)
+    a = drl_batch_index(g, order, num_nodes=8, cost_model=_NO_LIMIT).stats
+    b = drl_batch_index(g, order, num_nodes=8, cost_model=_NO_LIMIT).stats
+    assert a.compute_units == b.compute_units
+    assert a.remote_messages == b.remote_messages
+    assert a.simulated_seconds == b.simulated_seconds
+
+
+def test_compute_units_invariant_under_node_count():
+    """BSP semantics: partitioning moves work, it does not change it."""
+    g = random_digraph(100, 300, seed=10)
+    order = degree_order(g)
+    units = {
+        n: drl_index(g, order, num_nodes=n, cost_model=_NO_LIMIT).stats.compute_units
+        for n in (1, 4, 32)
+    }
+    assert len(set(units.values())) == 1
+
+
+# ----------------------------------------------------------------------
+# Cost accounting sanity
+# ----------------------------------------------------------------------
+def test_single_node_run_has_no_remote_traffic():
+    g = random_digraph(80, 240, seed=11)
+    stats = drl_index(g, num_nodes=1, cost_model=_NO_LIMIT).stats
+    assert stats.remote_messages == 0
+    assert stats.remote_bytes == 0
+    assert stats.broadcast_bytes == 0
+    assert stats.communication_seconds == 0.0
+    assert stats.local_messages > 0
+
+
+def test_multi_node_run_has_remote_traffic():
+    g = random_digraph(80, 240, seed=11)
+    stats = drl_index(g, num_nodes=8, cost_model=_NO_LIMIT).stats
+    assert stats.remote_messages > 0
+    assert stats.communication_seconds > 0
+    assert stats.num_nodes == 8
+    assert len(stats.per_node_units) == 8
+    assert sum(stats.per_node_units) == stats.compute_units
+
+
+def test_more_nodes_reduce_computation_seconds():
+    g = social_graph(800, seed=12)
+    t1 = drl_batch_index(g, num_nodes=1, cost_model=_NO_LIMIT).stats
+    t16 = drl_batch_index(g, num_nodes=16, cost_model=_NO_LIMIT).stats
+    assert t16.computation_seconds < t1.computation_seconds
+
+
+def test_batching_reduces_work_on_hub_graphs():
+    """The headline claim behind DRL_b: batch label pruning shrinks the
+    search space versus plain DRL."""
+    g = web_graph(1200, seed=13)
+    order = degree_order(g)
+    drl_units = drl_index(g, order, cost_model=_NO_LIMIT).stats.compute_units
+    batch_units = drl_batch_index(g, order, cost_model=_NO_LIMIT).stats.compute_units
+    assert batch_units < drl_units
+
+
+def test_drl_basic_does_more_work_than_drl():
+    g = web_graph(800, seed=14)
+    order = degree_order(g)
+    basic = drl_basic_index(g, order, num_nodes=4, cost_model=_NO_LIMIT).stats
+    drl = drl_index(g, order, num_nodes=4, cost_model=_NO_LIMIT).stats
+    assert basic.compute_units > drl.compute_units
+
+
+# ----------------------------------------------------------------------
+# Failure gates
+# ----------------------------------------------------------------------
+def test_time_limit_raises():
+    g = social_graph(600, seed=15)
+    impatient = CostModel(time_limit_seconds=1e-7)
+    with pytest.raises(TimeLimitExceeded):
+        drl_basic_index(g, num_nodes=4, cost_model=impatient)
+
+
+def test_multicore_memory_gate():
+    g = social_graph(300, seed=16)
+    tiny = shared_memory_model(node_memory_bytes=512)
+    with pytest.raises(OutOfMemoryError):
+        drl_multicore_index(g, cost_model=tiny)
+
+
+def test_multicore_has_free_communication():
+    g = random_digraph(100, 300, seed=17)
+    stats = drl_multicore_index(g, num_cores=8).stats
+    assert stats.communication_seconds == 0.0
+    assert stats.remote_messages > 0  # messages still cross "cores"
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+def test_empty_graph():
+    g = DiGraph(0, [])
+    assert drl_index(g, cost_model=_NO_LIMIT).index.num_vertices == 0
+    assert drl_batch_index(g, cost_model=_NO_LIMIT).index.num_vertices == 0
+
+
+def test_single_vertex():
+    g = DiGraph(1, [])
+    idx = drl_batch_index(g, cost_model=_NO_LIMIT).index
+    assert idx.query(0, 0)
+
+
+def test_explicit_batches_override():
+    g = random_digraph(30, 90, seed=18)
+    order = degree_order(g)
+    batches = [[order.vertex_at_rank(r)] for r in range(30)]  # TOL schedule
+    result = drl_batch_index(
+        g, order, batches=batches, num_nodes=2, cost_model=_NO_LIMIT
+    )
+    assert result.index == tol_index_reference(g, order)

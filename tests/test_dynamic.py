@@ -1,0 +1,214 @@
+"""Tests for dynamic TOL-index maintenance.
+
+The exactness contract: after any sequence of insertions and deletions,
+``snapshot()`` equals ``tol_index(current_graph, original_order)`` —
+the index TOL would build from scratch under the fixed order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.dynamic import DynamicReachabilityIndex
+from repro.core.tol import tol_index
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.graph.order import VertexOrder, degree_order
+from tests.conftest import digraphs
+
+
+def _assert_exact(dynamic: DynamicReachabilityIndex) -> None:
+    expected = tol_index(dynamic.current_graph(), dynamic._order)
+    assert dynamic.snapshot() == expected
+
+
+# ----------------------------------------------------------------------
+# Basic operations
+# ----------------------------------------------------------------------
+def test_initial_index_matches_tol():
+    g = random_digraph(30, 90, seed=1)
+    dynamic = DynamicReachabilityIndex(g)
+    assert dynamic.snapshot() == tol_index(g, degree_order(g))
+    assert dynamic.num_edges == 90
+
+
+def test_insert_simple_edge():
+    g = DiGraph(3, [(0, 1)])
+    dynamic = DynamicReachabilityIndex(g, VertexOrder([0, 1, 2]))
+    assert not dynamic.query(1, 2)
+    assert dynamic.insert_edge(1, 2)
+    assert dynamic.query(1, 2)
+    assert dynamic.query(0, 2)
+    _assert_exact(dynamic)
+
+
+def test_insert_existing_edge_is_noop():
+    g = DiGraph(2, [(0, 1)])
+    dynamic = DynamicReachabilityIndex(g)
+    assert not dynamic.insert_edge(0, 1)
+    _assert_exact(dynamic)
+
+
+def test_insert_rejects_self_loop_and_bad_vertex():
+    dynamic = DynamicReachabilityIndex(DiGraph(2, []))
+    with pytest.raises(ValueError):
+        dynamic.insert_edge(0, 0)
+    with pytest.raises(ValueError):
+        dynamic.insert_edge(0, 5)
+
+
+def test_insert_creating_cycle_invalidates_self_labels():
+    """Closing a cycle under a higher-order vertex must strip the
+    lower vertex's self-labels (the paper's cyclic-graph semantics)."""
+    g = DiGraph(2, [(0, 1)])
+    order = VertexOrder([0, 1])  # vertex 0 is higher order
+    dynamic = DynamicReachabilityIndex(g, order)
+    assert 1 in dynamic.in_labels[1]
+    dynamic.insert_edge(1, 0)  # cycle 0 <-> 1 dominated by vertex 0
+    assert 1 not in dynamic.in_labels[1]
+    assert dynamic.query(1, 1)  # still true, covered via vertex 0
+    _assert_exact(dynamic)
+
+
+def test_delete_simple_edge():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    dynamic = DynamicReachabilityIndex(g, VertexOrder([0, 1, 2]))
+    assert dynamic.query(0, 2)
+    assert dynamic.delete_edge(1, 2)
+    assert not dynamic.query(0, 2)
+    assert not dynamic.query(1, 2)
+    assert dynamic.query(0, 1)
+    _assert_exact(dynamic)
+
+
+def test_delete_absent_edge_is_noop():
+    dynamic = DynamicReachabilityIndex(DiGraph(2, [(0, 1)]))
+    assert not dynamic.delete_edge(1, 0)
+    _assert_exact(dynamic)
+
+
+def test_delete_breaking_domination_restores_labels():
+    """Removing the higher-order bypass must re-validate entries that
+    it had pruned."""
+    # 0 is highest order; path 1 -> 2 plus bypass 1 -> 0 -> 2.
+    g = DiGraph(3, [(1, 2), (1, 0), (0, 2)])
+    order = VertexOrder([0, 1, 2])
+    dynamic = DynamicReachabilityIndex(g, order)
+    assert 1 not in dynamic.in_labels[2]  # dominated via vertex 0
+    dynamic.delete_edge(0, 2)
+    assert 1 in dynamic.in_labels[2]  # direct edge now undominated
+    _assert_exact(dynamic)
+
+
+def test_reinsert_after_delete_round_trips():
+    g = random_digraph(20, 60, seed=2)
+    dynamic = DynamicReachabilityIndex(g)
+    edges = list(g.edges())[:10]
+    for u, v in edges:
+        dynamic.delete_edge(u, v)
+    for u, v in edges:
+        dynamic.insert_edge(u, v)
+    assert dynamic.current_graph() == g
+    _assert_exact(dynamic)
+
+
+def test_rebuild_threshold_path():
+    """A tiny rebuild_fraction forces the full-rebuild branch."""
+    g = random_digraph(25, 80, seed=3)
+    dynamic = DynamicReachabilityIndex(g, rebuild_fraction=1e-6)
+    u, v = next(iter(g.edges()))
+    dynamic.delete_edge(u, v)
+    _assert_exact(dynamic)
+
+
+def test_invalid_constructor_arguments():
+    g = DiGraph(3, [])
+    with pytest.raises(ValueError):
+        DynamicReachabilityIndex(g, VertexOrder([0, 1]))
+    with pytest.raises(ValueError):
+        DynamicReachabilityIndex(g, rebuild_fraction=0.0)
+
+
+def test_edges_and_has_edge_views():
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    dynamic = DynamicReachabilityIndex(g)
+    assert dynamic.has_edge(0, 1)
+    dynamic.delete_edge(0, 1)
+    assert not dynamic.has_edge(0, 1)
+    assert list(dynamic.edges()) == [(1, 2)]
+
+
+# ----------------------------------------------------------------------
+# Property tests: exactness under random update sequences
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    digraphs(max_vertices=12),
+    st.lists(
+        st.tuples(
+            st.booleans(), st.integers(0, 11), st.integers(0, 11)
+        ),
+        max_size=12,
+    ),
+)
+def test_property_exact_under_update_sequences(g, operations):
+    dynamic = DynamicReachabilityIndex(g)
+    for insert, u, v in operations:
+        u %= g.num_vertices
+        v %= g.num_vertices
+        if u == v:
+            continue
+        if insert:
+            dynamic.insert_edge(u, v)
+        else:
+            dynamic.delete_edge(u, v)
+    _assert_exact(dynamic)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    digraphs(max_vertices=10),
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 9), st.integers(0, 9)),
+        max_size=8,
+    ),
+)
+def test_property_queries_match_oracle_after_each_update(g, operations):
+    dynamic = DynamicReachabilityIndex(g)
+    for insert, u, v in operations:
+        u %= g.num_vertices
+        v %= g.num_vertices
+        if u == v:
+            continue
+        if insert:
+            dynamic.insert_edge(u, v)
+        else:
+            dynamic.delete_edge(u, v)
+        oracle = TransitiveClosure(dynamic.current_graph())
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                assert dynamic.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_property_insert_all_edges_incrementally(g):
+    """Build the graph edge-by-edge; the result must equal batch TOL."""
+    empty = DiGraph(g.num_vertices, [])
+    order = degree_order(g)  # fixed order taken from the final graph
+    dynamic = DynamicReachabilityIndex(empty, order)
+    for u, v in g.edges():
+        dynamic.insert_edge(u, v)
+    assert dynamic.snapshot() == tol_index(g, order)
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_property_delete_all_edges_incrementally(g):
+    order = degree_order(g)
+    dynamic = DynamicReachabilityIndex(g, order)
+    for u, v in g.edges():
+        dynamic.delete_edge(u, v)
+    empty = DiGraph(g.num_vertices, [])
+    assert dynamic.snapshot() == tol_index(empty, order)

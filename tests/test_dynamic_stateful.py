@@ -1,0 +1,57 @@
+"""Stateful property test: the dynamic index as a state machine.
+
+Hypothesis drives arbitrary interleavings of insertions, deletions,
+and queries against a model (rebuilt TOL + exact reachability) and
+shrinks any failing interleaving to a minimal counterexample.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.dynamic import DynamicReachabilityIndex
+from repro.core.tol import tol_index
+from repro.graph.digraph import DiGraph
+
+_N = 8
+_VERTEX = st.integers(min_value=0, max_value=_N - 1)
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dynamic = DynamicReachabilityIndex(DiGraph(_N, []))
+        self.edges: set[tuple[int, int]] = set()
+
+    @rule(u=_VERTEX, v=_VERTEX)
+    def insert(self, u, v):
+        if u == v:
+            return
+        added = self.dynamic.insert_edge(u, v)
+        assert added == ((u, v) not in self.edges)
+        self.edges.add((u, v))
+
+    @rule(u=_VERTEX, v=_VERTEX)
+    def delete(self, u, v):
+        if u == v:
+            return
+        removed = self.dynamic.delete_edge(u, v)
+        assert removed == ((u, v) in self.edges)
+        self.edges.discard((u, v))
+
+    @rule(s=_VERTEX, t=_VERTEX)
+    def query(self, s, t):
+        oracle = TransitiveClosure(DiGraph(_N, sorted(self.edges)))
+        assert self.dynamic.query(s, t) == oracle.query(s, t)
+
+    @invariant()
+    def index_is_exactly_tol(self):
+        graph = DiGraph(_N, sorted(self.edges))
+        assert self.dynamic.snapshot() == tol_index(graph, self.dynamic._order)
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestDynamicIndexMachine = DynamicIndexMachine.TestCase

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run end-to-end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exit_info:
+        assert not exit_info.code, f"{script.name} exited with {exit_info.code}"
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "social_influence.py",
+            "citation_provenance.py", "cluster_sizing.py"} <= names

@@ -1,0 +1,188 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    citation_graph,
+    gn_graph,
+    knowledge_graph,
+    kronecker_graph,
+    paper_example_graph,
+    paper_example_order,
+    random_dag,
+    random_digraph,
+    social_graph,
+    web_graph,
+)
+from repro.graph.scc import strongly_connected_components
+
+
+def _is_acyclic(graph) -> bool:
+    return all(len(c) == 1 for c in strongly_connected_components(graph))
+
+
+# ----------------------------------------------------------------------
+# The paper's running example (Fig. 1)
+# ----------------------------------------------------------------------
+def test_paper_example_shape():
+    g = paper_example_graph()
+    assert g.num_vertices == 11
+    assert g.num_edges == 15
+
+
+def test_paper_example_neighborhoods():
+    """Example 1: N_in(v2) = {v6}, N_out(v2) = {v1, v3, v4, v5}."""
+    g = paper_example_graph()
+    v2 = 1
+    assert {x + 1 for x in g.in_neighbors(v2)} == {6}
+    assert {x + 1 for x in g.out_neighbors(v2)} == {1, 3, 4, 5}
+
+
+def test_paper_example_anc_des_of_v2():
+    """Example 1: ANC(v2) and DES(v2)."""
+    from repro.graph.traversal import reachable_set
+
+    g = paper_example_graph()
+    v2 = 1
+    assert {x + 1 for x in reachable_set(g, v2)} == set(range(1, 12))
+    assert {x + 1 for x in reachable_set(g.reverse(), v2)} == {2, 3, 4, 6}
+
+
+def test_paper_example_degree_products():
+    """Example 3: ord(v1) has product 12, ord(v10) has product 2."""
+    g = paper_example_graph()
+    product = lambda v: (g.in_degree(v) + 1) * (g.out_degree(v) + 1)
+    assert product(0) == 12
+    assert product(9) == 2
+
+
+def test_paper_example_order_is_index_order():
+    order = paper_example_order()
+    assert [order.rank(v) for v in range(11)] == list(range(11))
+
+
+# ----------------------------------------------------------------------
+# Random generators
+# ----------------------------------------------------------------------
+def test_random_digraph_exact_size():
+    g = random_digraph(50, 200, seed=1)
+    assert g.num_vertices == 50
+    assert g.num_edges == 200
+    assert not any(u == v for u, v in g.edges())
+
+
+def test_random_digraph_deterministic():
+    assert random_digraph(30, 60, seed=9) == random_digraph(30, 60, seed=9)
+    assert random_digraph(30, 60, seed=9) != random_digraph(30, 60, seed=10)
+
+
+def test_random_digraph_too_many_edges():
+    with pytest.raises(ValueError):
+        random_digraph(3, 7, seed=0)
+
+
+def test_random_dag_is_acyclic():
+    g = random_dag(40, 150, seed=2)
+    assert g.num_edges == 150
+    assert _is_acyclic(g)
+
+
+def test_random_dag_too_many_edges():
+    with pytest.raises(ValueError):
+        random_dag(4, 7, seed=0)
+
+
+def test_gn_graph_tree_shape():
+    g = gn_graph(100, seed=3)
+    assert g.num_edges == 99
+    assert all(g.out_degree(v) == 1 for v in range(1, 100))
+    assert g.out_degree(0) == 0
+
+
+def test_gn_graph_needs_a_vertex():
+    with pytest.raises(ValueError):
+        gn_graph(0)
+
+
+# ----------------------------------------------------------------------
+# Topology-class generators
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: social_graph(300, seed=4),
+        lambda: web_graph(300, seed=4),
+        lambda: citation_graph(300, seed=4),
+        lambda: knowledge_graph(300, seed=4),
+        lambda: kronecker_graph(7, seed=4),
+    ],
+    ids=["social", "web", "citation", "knowledge", "kronecker"],
+)
+def test_generator_determinism_and_sanity(factory):
+    a, b = factory(), factory()
+    assert a == b
+    assert a.num_edges > a.num_vertices / 2
+    assert not any(u == v for u, v in a.edges())
+
+
+def test_social_graph_has_cycles():
+    g = social_graph(400, seed=5, reciprocity=0.5)
+    assert not _is_acyclic(g)
+
+
+def test_citation_graph_is_acyclic():
+    assert _is_acyclic(citation_graph(400, seed=6))
+
+
+def test_web_graph_has_core():
+    g = web_graph(400, seed=7)
+    biggest = max(map(len, strongly_connected_components(g)))
+    assert biggest > 3  # a strongly connected core exists
+
+
+def test_knowledge_graph_hubs():
+    g = knowledge_graph(400, seed=8)
+    max_in = max(g.in_degree(v) for v in g.vertices())
+    assert max_in > 10  # categories are hubs
+
+
+def test_knowledge_graph_back_links_create_cycles():
+    assert _is_acyclic(knowledge_graph(300, seed=9, back_link=0.0))
+    assert not _is_acyclic(knowledge_graph(300, seed=9, back_link=0.5))
+
+
+def test_kronecker_graph_size():
+    g = kronecker_graph(8, edge_factor=4, seed=10)
+    assert g.num_vertices == 256
+    assert 0 < g.num_edges <= 4 * 256
+
+
+def test_kronecker_bad_initiator():
+    with pytest.raises(ValueError):
+        kronecker_graph(4, initiator=(0.5, 0.5, 0.5, 0.5))
+    with pytest.raises(ValueError):
+        kronecker_graph(0)
+
+
+def test_degree_skew_in_preferential_generators():
+    """Power-law-ish generators must concentrate in-degree on hubs."""
+    for factory in (social_graph, web_graph):
+        g = factory(500, seed=11)
+        degrees = sorted((g.in_degree(v) for v in g.vertices()), reverse=True)
+        top_share = sum(degrees[:25]) / max(1, sum(degrees))
+        assert top_share > 0.15, factory.__name__
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [social_graph, web_graph, citation_graph],
+    ids=["social", "web", "citation"],
+)
+def test_generators_reject_tiny_n(factory):
+    with pytest.raises(ValueError):
+        factory(1)
+
+
+def test_knowledge_graph_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        knowledge_graph(3)

@@ -1,0 +1,86 @@
+"""Tests for the GRAIL baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.grail import build_grail
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.errors import OutOfMemoryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import citation_graph, social_graph
+from repro.pregel.cost_model import CostModel
+from repro.pregel.serial import SerialMeter
+from tests.conftest import digraphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_grail_always_correct(g):
+    oracle = TransitiveClosure(g)
+    grail = build_grail(g, seed=5)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert grail.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs())
+def test_property_refutations_are_sound(g):
+    """A label-only negative must be a true negative."""
+    oracle = TransitiveClosure(g)
+    grail = build_grail(g, seed=6)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            answer, fallback = grail.query_verbose(s, t)
+            if not fallback and not answer:
+                assert not oracle.query(s, t)
+
+
+def test_same_scc_immediate():
+    g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+    grail = build_grail(g)
+    answer, fallback = grail.query_verbose(0, 1)
+    assert answer and not fallback
+
+
+def test_dimensions_parameter():
+    g = social_graph(200, seed=7)
+    one = build_grail(g, dimensions=1)
+    five = build_grail(g, dimensions=5)
+    assert one.num_dimensions == 1
+    assert five.num_dimensions == 5
+    assert five.size_bytes() > one.size_bytes()
+    with pytest.raises(ValueError):
+        build_grail(g, dimensions=0)
+
+
+def test_more_dimensions_refute_no_less():
+    """Extra traversals can only add refutation power."""
+    g = citation_graph(300, seed=8)
+    few = build_grail(g, dimensions=1, seed=1)
+    many = build_grail(g, dimensions=5, seed=1)
+    refuted_few = refuted_many = 0
+    for s in range(0, 300, 11):
+        for t in range(0, 300, 13):
+            refuted_few += not few.query_verbose(s, t)[1] and not few.query(s, t)
+            refuted_many += (
+                not many.query_verbose(s, t)[1] and not many.query(s, t)
+            )
+    assert refuted_many >= refuted_few
+
+
+def test_meter_and_memory_gate():
+    g = social_graph(200, seed=9)
+    meter = SerialMeter(CostModel(time_limit_seconds=None))
+    build_grail(g, meter=meter)
+    assert meter.units > g.num_edges
+    with pytest.raises(OutOfMemoryError):
+        build_grail(g, meter=SerialMeter(CostModel(node_memory_bytes=128)))
+
+
+def test_deterministic_given_seed():
+    g = social_graph(150, seed=10)
+    a = build_grail(g, seed=3)
+    b = build_grail(g, seed=3)
+    assert a._ranks == b._ranks
+    assert a._mins == b._mins

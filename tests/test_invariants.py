@@ -1,0 +1,95 @@
+"""Cross-cutting property tests: the library's central invariants.
+
+1. Every construction method yields the exact TOL index.
+2. Every index satisfies the cover constraint (Definition 3).
+3. Reachability axioms hold through the index: reflexivity and
+   transitivity.
+4. Indexes survive serialization.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.build import METHOD_NAMES, build_index
+from repro.core.labels import ReachabilityIndex
+from repro.core.tol import tol_index_reference
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import CostModel
+from tests.conftest import dags, digraphs
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs(max_vertices=16))
+def test_property_every_method_identical(g):
+    order = degree_order(g)
+    reference = tol_index_reference(g, order)
+    for method in METHOD_NAMES:
+        built = build_index(
+            g, method=method, order=order, num_nodes=3, cost_model=_NO_LIMIT
+        ).index
+        assert built == reference, method
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_cover_constraint_all_pairs(g):
+    oracle = TransitiveClosure(g)
+    index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert index.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dags())
+def test_property_cover_constraint_on_dags(g):
+    oracle = TransitiveClosure(g)
+    index = build_index(g, method="drl", cost_model=_NO_LIMIT).index
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert index.query(s, t) == oracle.query(s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_reflexivity_and_transitivity(g):
+    index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
+    n = g.num_vertices
+    for v in range(n):
+        assert index.query(v, v)
+    # Transitivity on a sample of triples.
+    for a in range(min(n, 5)):
+        for b in range(min(n, 5)):
+            if not index.query(a, b):
+                continue
+            for c in range(n):
+                if index.query(b, c):
+                    assert index.query(a, c), (a, b, c)
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs())
+def test_property_serialization_round_trip(tmp_path_factory, g):
+    index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
+    path = tmp_path_factory.mktemp("idx") / "index.bin"
+    index.save(path)
+    reloaded = ReachabilityIndex.load(path)
+    assert reloaded == index
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs(), st.integers(min_value=1, max_value=6))
+def test_property_label_minimality_witness(g, _seed):
+    """Every label entry is *useful*: u ∈ L_in(w) implies u reaches w
+    and (from Theorem 1) u is the top vertex of some real walk."""
+    oracle = TransitiveClosure(g)
+    index = build_index(g, method="drl", cost_model=_NO_LIMIT).index
+    for w in range(g.num_vertices):
+        for u in index.in_labels(w):
+            assert oracle.query(u, w)
+        for u in index.out_labels(w):
+            assert oracle.query(w, u)

@@ -1,0 +1,108 @@
+"""Tests for edge-list and binary graph I/O."""
+
+import gzip
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.graph.io import (
+    iter_edge_list,
+    read_binary,
+    read_edge_list,
+    write_binary,
+    write_edge_list,
+)
+
+
+def test_text_round_trip(tmp_path):
+    g = random_digraph(40, 120, seed=1)
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path)
+    assert read_edge_list(path, num_vertices=40) == g
+
+
+def test_gzip_round_trip(tmp_path):
+    g = random_digraph(30, 80, seed=2)
+    path = tmp_path / "graph.txt.gz"
+    write_edge_list(g, path)
+    with gzip.open(path, "rt") as handle:  # really gzipped
+        assert handle.readline().startswith("#")
+    assert read_edge_list(path, num_vertices=30) == g
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text("# comment\n% other comment\n\n0 1\n1 2 999\n")
+    assert list(iter_edge_list(path)) == [(0, 1), (1, 2)]
+
+
+def test_extra_columns_ignored(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text("0\t1\t0.5\t2021\n")
+    assert list(iter_edge_list(path)) == [(0, 1)]
+
+
+def test_header_optional(tmp_path):
+    g = DiGraph(2, [(0, 1)])
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path, header=False)
+    assert not path.read_text().startswith("#")
+    assert read_edge_list(path) == g
+
+
+def test_malformed_rows_raise(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0\n")
+    with pytest.raises(ValueError, match="two columns"):
+        list(iter_edge_list(path))
+    path.write_text("a b\n")
+    with pytest.raises(ValueError, match="non-integer"):
+        list(iter_edge_list(path))
+
+
+def test_read_edge_list_dedup_flag(tmp_path):
+    path = tmp_path / "dup.txt"
+    path.write_text("0 1\n0 1\n")
+    assert read_edge_list(path).num_edges == 1
+    assert read_edge_list(path, dedup=False).num_edges == 2
+
+
+def test_binary_round_trip(tmp_path):
+    g = random_digraph(50, 150, seed=3)
+    path = tmp_path / "graph.bin"
+    write_binary(g, path)
+    assert read_binary(path) == g
+
+
+def test_binary_empty_graph(tmp_path):
+    g = DiGraph(0, [])
+    path = tmp_path / "empty.bin"
+    write_binary(g, path)
+    assert read_binary(path).num_vertices == 0
+
+
+def test_binary_bad_magic(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 20)
+    with pytest.raises(ValueError, match="bad magic"):
+        read_binary(path)
+
+
+def test_binary_truncated(tmp_path):
+    g = random_digraph(10, 20, seed=4)
+    path = tmp_path / "trunc.bin"
+    write_binary(g, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-8])
+    with pytest.raises(ValueError, match="truncated"):
+        read_binary(path)
+
+
+def test_binary_bad_version(tmp_path):
+    path = tmp_path / "ver.bin"
+    import struct
+
+    path.write_bytes(b"RPRO" + struct.pack("<IQQ", 99, 0, 0))
+    with pytest.raises(ValueError, match="version"):
+        read_binary(path)

@@ -1,0 +1,129 @@
+"""Tests for the IP (min-hash) and chain-TC related-work baselines."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.chain_tc import build_chain_tc
+from repro.baselines.ip_label import build_ip
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.errors import OutOfMemoryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import citation_graph, social_graph
+from repro.pregel.cost_model import CostModel
+from repro.pregel.serial import SerialMeter
+from tests.conftest import digraphs
+
+
+# ----------------------------------------------------------------------
+# IP labeling
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_ip_always_correct(g):
+    oracle = TransitiveClosure(g)
+    ip = build_ip(g, k=4, seed=3)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert ip.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs())
+def test_property_ip_label_only_answers_sound(g):
+    oracle = TransitiveClosure(g)
+    ip = build_ip(g, k=3, seed=4)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            answer, fallback = ip.query_verbose(s, t)
+            if not fallback:
+                assert answer == oracle.query(s, t)
+
+
+def test_ip_small_k_still_correct():
+    g = social_graph(300, seed=5)
+    oracle = TransitiveClosure(g)
+    ip = build_ip(g, k=1, num_permutations=1)
+    for s in range(0, 300, 17):
+        for t in range(0, 300, 19):
+            assert ip.query(s, t) == oracle.query(s, t)
+
+
+def test_ip_complete_sketches_answer_positively():
+    # A short path: every reachable set has < k members, so the exact
+    # subset test answers without touching the graph.
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    ip = build_ip(g, k=8)
+    answer, fallback = ip.query_verbose(0, 2)
+    assert answer and not fallback
+
+
+def test_ip_parameters_and_size():
+    g = citation_graph(200, seed=6)
+    small = build_ip(g, k=2, num_permutations=1)
+    large = build_ip(g, k=16, num_permutations=3)
+    assert large.size_bytes() > small.size_bytes()
+    assert large.num_permutations == 3
+    with pytest.raises(ValueError):
+        build_ip(g, k=0)
+    with pytest.raises(ValueError):
+        build_ip(g, num_permutations=0)
+
+
+def test_ip_meter_and_memory_gate():
+    g = social_graph(200, seed=7)
+    meter = SerialMeter(CostModel(time_limit_seconds=None))
+    build_ip(g, meter=meter)
+    assert meter.units > g.num_vertices
+    with pytest.raises(OutOfMemoryError):
+        build_ip(g, meter=SerialMeter(CostModel(node_memory_bytes=64)))
+
+
+# ----------------------------------------------------------------------
+# Chain-compressed transitive closure
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_chain_tc_exact(g):
+    oracle = TransitiveClosure(g)
+    index = build_chain_tc(g)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert index.query(s, t) == oracle.query(s, t), (s, t)
+
+
+def test_chain_tc_on_path_uses_one_chain():
+    g = DiGraph(5, [(i, i + 1) for i in range(4)])
+    index = build_chain_tc(g)
+    assert index.num_chains == 1
+    assert index.query(0, 4)
+    assert not index.query(4, 0)
+
+
+def test_chain_tc_on_antichain_uses_n_chains():
+    g = DiGraph(4, [])
+    index = build_chain_tc(g)
+    assert index.num_chains == 4
+
+
+def test_chain_tc_handles_cycles_via_condensation():
+    g = DiGraph(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+    index = build_chain_tc(g)
+    assert index.query(0, 3)
+    assert index.query(3, 2)
+    assert not index.query(2, 0)
+
+
+def test_chain_tc_meter_and_memory_gate():
+    g = social_graph(300, seed=8)
+    meter = SerialMeter(CostModel(time_limit_seconds=None))
+    index = build_chain_tc(g, meter=meter)
+    assert meter.units > 0
+    assert index.size_bytes() > 0
+    with pytest.raises(OutOfMemoryError):
+        build_chain_tc(g, meter=SerialMeter(CostModel(node_memory_bytes=256)))
+
+
+def test_chain_tc_size_grows_with_width():
+    deep = DiGraph(60, [(i, i + 1) for i in range(59)])
+    wide = DiGraph(60, [])
+    assert build_chain_tc(wide).size_bytes() > build_chain_tc(deep).size_bytes()

@@ -1,0 +1,136 @@
+"""Tests for ReachabilityIndex (label storage and queries)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import ReachabilityIndex
+
+
+def _index(ins, outs) -> ReachabilityIndex:
+    return ReachabilityIndex.from_label_lists(ins, outs)
+
+
+def test_labels_sorted_on_construction():
+    idx = _index([[3, 1, 2]], [[9, 0]])
+    assert list(idx.in_labels(0)) == [1, 2, 3]
+    assert list(idx.out_labels(0)) == [0, 9]
+
+
+def test_query_intersection():
+    idx = _index([[], [5, 7]], [[5, 9], []])
+    assert idx.query(0, 1)  # common hop 5
+    assert not idx.query(1, 0)
+    assert not idx.query(1, 1)
+
+
+def test_query_empty_labels():
+    idx = _index([[], []], [[], []])
+    assert not idx.query(0, 1)
+
+
+def test_hop_vertex():
+    idx = _index([[], [3, 5, 7]], [[5, 7], []])
+    assert idx.hop_vertex(0, 1) == 5
+    assert idx.hop_vertex(1, 0) is None
+
+
+def test_mismatched_sides_rejected():
+    with pytest.raises(ValueError):
+        ReachabilityIndex.from_label_lists([[0]], [[0], [1]])
+
+
+def test_statistics():
+    idx = _index([[1], [1, 2]], [[], [0, 1, 2]])
+    assert idx.num_vertices == 2
+    assert idx.num_entries == 6
+    assert idx.size_bytes() == 48
+    assert idx.size_bytes(entry_bytes=4) == 24
+    assert idx.largest_label == 3
+    assert idx.average_label == 1.5
+
+
+def test_statistics_empty_index():
+    idx = _index([], [])
+    assert idx.num_vertices == 0
+    assert idx.largest_label == 0
+    assert idx.average_label == 0.0
+
+
+def test_from_backward_sets_inverts():
+    # v0's backward in-set {0, 1} means 0 and 1 carry 0 in L_in.
+    idx = ReachabilityIndex.from_backward_sets(
+        3, {0: {0, 1}, 2: {2}}, {0: {0}, 1: {1, 2}}
+    )
+    assert list(idx.in_labels(0)) == [0]
+    assert list(idx.in_labels(1)) == [0]
+    assert list(idx.in_labels(2)) == [2]
+    assert list(idx.out_labels(2)) == [1]
+
+
+def test_equality():
+    a = _index([[1]], [[2]])
+    b = _index([[1]], [[2]])
+    c = _index([[1]], [[3]])
+    assert a == b
+    assert a != c
+    assert a.__eq__(7) is NotImplemented
+
+
+def test_save_load_round_trip(tmp_path):
+    idx = _index([[1, 5], [], [0]], [[2], [4, 6], []])
+    path = tmp_path / "index.bin"
+    idx.save(path)
+    assert ReachabilityIndex.load(path) == idx
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"XXXX" + b"\x00" * 16)
+    with pytest.raises(ValueError, match="not a reachability index"):
+        ReachabilityIndex.load(path)
+
+
+def test_load_rejects_bad_version(tmp_path):
+    import struct
+
+    path = tmp_path / "ver.bin"
+    path.write_bytes(b"RLIX" + struct.pack("<IQ", 42, 0))
+    with pytest.raises(ValueError, match="version"):
+        ReachabilityIndex.load(path)
+
+
+def test_load_rejects_truncation(tmp_path):
+    idx = _index([[1, 2, 3]], [[4, 5, 6]])
+    path = tmp_path / "trunc.bin"
+    idx.save(path)
+    path.write_bytes(path.read_bytes()[:-4])
+    with pytest.raises(ValueError, match="truncated"):
+        ReachabilityIndex.load(path)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sets(st.integers(0, 30), max_size=6),
+            st.sets(st.integers(0, 30), max_size=6),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_query_equals_set_intersection(labels):
+    ins = [sorted(a) for a, _ in labels]
+    outs = [sorted(b) for _, b in labels]
+    idx = ReachabilityIndex.from_label_lists(ins, outs)
+    n = len(labels)
+    for s in range(n):
+        for t in range(n):
+            expected = bool(set(outs[s]) & set(ins[t]))
+            assert idx.query(s, t) == expected
+            hop = idx.hop_vertex(s, t)
+            if expected:
+                assert hop == min(set(outs[s]) & set(ins[t]))
+            else:
+                assert hop is None

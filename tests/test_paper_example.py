@@ -1,0 +1,111 @@
+"""End-to-end verification of every worked example in the paper on the
+Fig. 1 graph: Tables II and III, Examples 2, 7, 8, and 12."""
+
+import pytest
+
+from repro.core import (
+    backward_in_labels_basic,
+    backward_in_labels_naive,
+    backward_label_sets,
+    batch_sequence,
+    drl_basic_index,
+    drl_batch_index,
+    drl_index,
+    drl_multicore_index,
+    tol_index,
+    tol_index_reference,
+)
+from repro.graph.traversal import trimmed_bfs
+from tests.conftest import TABLE_II_IN, TABLE_II_OUT, TABLE_III_IN, TABLE_III_OUT
+
+
+def _as_paper(values):
+    """Convert 0-indexed vertex ids to the paper's 1-indexed names."""
+    return {x + 1 for x in values}
+
+
+def test_table_ii_via_tol_reference(paper_graph, paper_order):
+    index = tol_index_reference(paper_graph, paper_order)
+    for v in range(11):
+        assert _as_paper(index.in_labels(v)) == TABLE_II_IN[v + 1]
+        assert _as_paper(index.out_labels(v)) == TABLE_II_OUT[v + 1]
+
+
+def test_table_ii_via_optimized_tol(paper_graph, paper_order):
+    assert tol_index(paper_graph, paper_order) == tol_index_reference(
+        paper_graph, paper_order
+    )
+
+
+def test_example_2_query(paper_graph, paper_order):
+    """Example 2: q(v2, v3) is true via common label v2."""
+    index = tol_index(paper_graph, paper_order)
+    assert index.query(1, 2)
+    assert index.hop_vertex(1, 2) == 1  # the hop is v2 itself
+
+
+def test_table_iii_backward_sets(paper_graph, paper_order):
+    backward_in, backward_out = backward_label_sets(paper_graph, paper_order)
+    for v in range(11):
+        assert _as_paper(backward_in[v]) == TABLE_III_IN[v + 1], f"v{v+1}"
+        assert _as_paper(backward_out[v]) == TABLE_III_OUT[v + 1], f"v{v+1}"
+
+
+def test_example_7_naive_refinement(paper_graph, paper_order):
+    """Example 7: L⁻_in(v3) = ∅ via Theorem 2."""
+    assert backward_in_labels_naive(paper_graph, 2, paper_order) == set()
+
+
+def test_theorem_3_on_every_vertex(paper_graph, paper_order):
+    for v in range(11):
+        assert backward_in_labels_basic(paper_graph, v, paper_order) == {
+            x - 1 for x in TABLE_III_IN[v + 1]
+        }
+
+
+def test_example_8_trimmed_bfs(paper_graph, paper_order):
+    result = trimmed_bfs(paper_graph, 2, paper_order)
+    assert _as_paper(result.low) == {3, 4, 6, 10, 11}
+    assert _as_paper(result.high) == {1, 2}
+
+
+def test_example_12_batch_sequence(paper_order):
+    """b = k = 2 gives [ {v1,v2}, {v3..v6}, {v7..v11} ]."""
+    batches = batch_sequence(paper_order, initial_size=2, growth_factor=2)
+    assert [_as_paper(batch) for batch in batches] == [
+        {1, 2},
+        {3, 4, 5, 6},
+        {7, 8, 9, 10, 11},
+    ]
+
+
+@pytest.mark.parametrize("num_nodes", [1, 2, 32])
+def test_all_distributed_methods_reproduce_table_ii(
+    paper_graph, paper_order, num_nodes
+):
+    expected = tol_index_reference(paper_graph, paper_order)
+    assert drl_index(paper_graph, paper_order, num_nodes=num_nodes).index == expected
+    assert (
+        drl_basic_index(paper_graph, paper_order, num_nodes=num_nodes).index
+        == expected
+    )
+    assert (
+        drl_batch_index(paper_graph, paper_order, num_nodes=num_nodes).index
+        == expected
+    )
+
+
+def test_multicore_reproduces_table_ii(paper_graph, paper_order):
+    expected = tol_index_reference(paper_graph, paper_order)
+    assert drl_multicore_index(paper_graph, paper_order).index == expected
+
+
+def test_cover_constraint_on_paper_graph(paper_graph, paper_order):
+    """Definition 3 checked against BFS ground truth for all 121 pairs."""
+    from repro.graph.traversal import reachable_set
+
+    index = tol_index(paper_graph, paper_order)
+    for s in range(11):
+        descendants = reachable_set(paper_graph, s)
+        for t in range(11):
+            assert index.query(s, t) == (t in descendants), (s + 1, t + 1)

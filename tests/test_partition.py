@@ -1,0 +1,86 @@
+"""Tests for vertex partitioners."""
+
+import pytest
+
+from repro.graph.partition import (
+    PARTITIONER_STRATEGIES,
+    BlockPartitioner,
+    HashPartitioner,
+    ModuloPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [
+        HashPartitioner(4),
+        ModuloPartitioner(4),
+        RangePartitioner(4, 100),
+        BlockPartitioner(4, block_size=8),
+    ],
+    ids=["hash", "modulo", "range", "block"],
+)
+def test_assignment_in_range_and_deterministic(partitioner):
+    for v in range(100):
+        node = partitioner.node_of(v)
+        assert 0 <= node < 4
+        assert node == partitioner.node_of(v)
+
+
+def test_partition_materialization_covers_all():
+    partitioner = HashPartitioner(3)
+    parts = partitioner.partition(50)
+    assert len(parts) == 3
+    assert sorted(v for part in parts for v in part) == list(range(50))
+
+
+def test_hash_partitioner_balance():
+    parts = HashPartitioner(8).partition(8000)
+    sizes = [len(p) for p in parts]
+    assert max(sizes) < 2 * min(sizes)
+
+
+def test_modulo_partitioner_literal():
+    p = ModuloPartitioner(4)
+    assert [p.node_of(v) for v in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_range_partitioner_contiguous():
+    p = RangePartitioner(4, 100)
+    assert p.node_of(0) == 0
+    assert p.node_of(24) == 0
+    assert p.node_of(25) == 1
+    assert p.node_of(99) == 3
+
+
+def test_range_partitioner_more_nodes_than_vertices():
+    p = RangePartitioner(10, 3)
+    assert {p.node_of(v) for v in range(3)} <= set(range(10))
+
+
+def test_block_partitioner_round_robin():
+    p = BlockPartitioner(2, block_size=2)
+    assert [p.node_of(v) for v in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+    with pytest.raises(ValueError):
+        RangePartitioner(2, -1)
+    with pytest.raises(ValueError):
+        BlockPartitioner(2, block_size=0)
+
+
+def test_single_node_everything_local():
+    for name, factory in PARTITIONER_STRATEGIES.items():
+        p = factory(1, 20)
+        assert all(p.node_of(v) == 0 for v in range(20)), name
+
+
+def test_strategy_registry_keys():
+    assert set(PARTITIONER_STRATEGIES) == {"hash", "modulo", "range", "block"}
+    for factory in PARTITIONER_STRATEGIES.values():
+        assert isinstance(factory(4, 100), Partitioner)

@@ -1,0 +1,91 @@
+"""Tests for the query service layer."""
+
+import pytest
+
+from repro.baselines.bfl import build_bfl
+from repro.baselines.grail import build_grail
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.build import build_index
+from repro.graph.generators import social_graph
+from repro.pregel.cost_model import CostModel
+from repro.query import (
+    BflBackend,
+    GrailBackend,
+    IndexBackend,
+    OnlineBackend,
+    QueryReport,
+    QueryService,
+)
+from repro.workloads.queries import random_pairs
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(400, seed=2)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    return TransitiveClosure(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return random_pairs(graph.num_vertices, 300, seed=3)
+
+
+def _backends(graph):
+    index = build_index(graph, cost_model=_NO_LIMIT).index
+    return {
+        "index": IndexBackend(index, _NO_LIMIT),
+        "bfl": BflBackend(build_bfl(graph), _NO_LIMIT),
+        "grail": GrailBackend(build_grail(graph), _NO_LIMIT),
+        "online": OnlineBackend(graph, _NO_LIMIT),
+    }
+
+
+def test_all_backends_agree_with_oracle(graph, oracle, pairs):
+    for name, backend in _backends(graph).items():
+        service = QueryService(backend)
+        for s, t in pairs[:150]:
+            assert service.query(s, t) == oracle.query(s, t), (name, s, t)
+
+
+def test_evaluate_statistics(graph, oracle, pairs):
+    service = QueryService(_backends(graph)["index"])
+    report = service.evaluate(pairs)
+    assert report.count == len(pairs)
+    assert report.positives == sum(oracle.query(s, t) for s, t in pairs)
+    assert 0 < report.mean_seconds
+    assert report.p50_seconds <= report.p95_seconds <= report.p99_seconds
+    assert report.p99_seconds <= report.max_seconds
+    assert report.total_seconds == pytest.approx(
+        report.mean_seconds * report.count
+    )
+    assert 0 <= report.positive_rate <= 1
+    assert report.throughput > 0
+    assert "queries" in report.summary()
+
+
+def test_online_backend_is_slowest(graph, pairs):
+    backends = _backends(graph)
+    means = {
+        name: QueryService(backend).evaluate(pairs[:100]).mean_seconds
+        for name, backend in backends.items()
+    }
+    assert means["online"] > means["index"]
+    assert means["online"] > means["bfl"]
+    assert means["online"] > means["grail"]
+
+
+def test_empty_workload():
+    report = QueryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    assert report.positive_rate == 0.0
+    assert report.throughput == 0.0
+    # And via the service:
+    from repro.graph.digraph import DiGraph
+
+    service = QueryService(OnlineBackend(DiGraph(2, []), _NO_LIMIT))
+    assert service.evaluate([]).count == 0

@@ -1,0 +1,114 @@
+"""Tests for TOL (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.core.tol import tol_index, tol_index_reference
+from repro.errors import OutOfMemoryError, TimeLimitExceeded
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph, social_graph
+from repro.graph.order import degree_order, random_order
+from repro.pregel.cost_model import CostModel
+from repro.pregel.serial import SerialMeter
+from tests.conftest import digraphs
+
+
+def test_empty_and_singleton_graphs():
+    assert tol_index(DiGraph(0, [])).num_vertices == 0
+    idx = tol_index(DiGraph(1, []))
+    assert list(idx.in_labels(0)) == [0]
+    assert list(idx.out_labels(0)) == [0]
+    assert idx.query(0, 0)
+
+
+def test_two_vertex_edge():
+    idx = tol_index(DiGraph(2, [(0, 1)]))
+    assert idx.query(0, 1)
+    assert not idx.query(1, 0)
+    assert idx.query(0, 0) and idx.query(1, 1)
+
+
+def test_two_cycle_prunes_lower_vertex_self_label():
+    """In a cycle, the lower-order vertex keeps no self-label — the
+    higher one covers it (Section II treatment of cyclic graphs)."""
+    g = DiGraph(2, [(0, 1), (1, 0)])
+    order = degree_order(g)  # tie -> vertex 1 is higher order
+    idx = tol_index(g, order)
+    high, low = 1, 0
+    assert list(idx.in_labels(high)) == [high]
+    assert list(idx.out_labels(high)) == [high]
+    assert list(idx.in_labels(low)) == [high]
+    assert list(idx.out_labels(low)) == [high]
+    for s in (0, 1):
+        for t in (0, 1):
+            assert idx.query(s, t)
+
+
+def test_default_order_is_degree_order():
+    g = random_digraph(30, 90, seed=5)
+    assert tol_index(g) == tol_index(g, degree_order(g))
+
+
+@settings(max_examples=60, deadline=None)
+@given(digraphs())
+def test_property_optimized_matches_reference(g):
+    order = degree_order(g)
+    assert tol_index(g, order) == tol_index_reference(g, order)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_reference_matches_under_random_order(g):
+    order = random_order(g, seed=13)
+    assert tol_index(g, order) == tol_index_reference(g, order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_property_cover_constraint(g):
+    """Definition 3: q(s,t) iff s -> t, for every pair."""
+    oracle = TransitiveClosure(g)
+    idx = tol_index(g)
+    for s in range(g.num_vertices):
+        for t in range(g.num_vertices):
+            assert idx.query(s, t) == oracle.query(s, t), (s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs())
+def test_property_labels_respect_order_direction(g):
+    """Every label entry is a vertex of order >= the labeled vertex."""
+    order = degree_order(g)
+    idx = tol_index(g, order)
+    for v in range(g.num_vertices):
+        for u in idx.in_labels(v):
+            assert u == v or order.higher(u, v)
+        for u in idx.out_labels(v):
+            assert u == v or order.higher(u, v)
+
+
+def test_meter_counts_work():
+    g = social_graph(300, seed=3)
+    meter = SerialMeter(CostModel(time_limit_seconds=None))
+    tol_index(g, meter=meter)
+    assert meter.units > g.num_edges  # at least one pass over the edges
+
+
+def test_memory_gate():
+    g = social_graph(300, seed=3)
+    tiny = CostModel(node_memory_bytes=1024)
+    with pytest.raises(OutOfMemoryError):
+        tol_index(g, meter=SerialMeter(tiny))
+
+
+def test_time_limit_gate():
+    g = social_graph(800, seed=4)
+    impatient = CostModel(time_limit_seconds=1e-9)
+    with pytest.raises(TimeLimitExceeded):
+        tol_index(g, meter=SerialMeter(impatient))
+
+
+def test_index_deterministic():
+    g = social_graph(400, seed=6)
+    assert tol_index(g) == tol_index(g)

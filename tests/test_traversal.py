@@ -1,0 +1,144 @@
+"""Unit and property tests for BFS, DFS, and trimmed BFS (Algorithm 2)."""
+
+from hypothesis import given, settings
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import paper_example_graph, paper_example_order
+from repro.graph.order import VertexOrder, degree_order
+from repro.graph.traversal import (
+    bfs_order,
+    dfs_postorder,
+    reachable_set,
+    trimmed_bfs,
+)
+from tests.conftest import digraphs
+
+
+def test_bfs_order_levels():
+    g = DiGraph(6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    order = bfs_order(g, 0)
+    assert order[0] == 0
+    assert set(order[1:3]) == {1, 2}
+    assert order[3:] == [3, 4]
+
+
+def test_bfs_unreachable_not_included():
+    g = DiGraph(4, [(0, 1), (2, 3)])
+    assert set(bfs_order(g, 0)) == {0, 1}
+
+
+def test_reachable_set_includes_source():
+    g = DiGraph(3, [])
+    assert reachable_set(g, 1) == {1}
+
+
+def test_reachable_set_cycle():
+    g = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+    assert reachable_set(g, 0) == {0, 1, 2}
+
+
+def test_dfs_postorder_covers_all_vertices_once():
+    g = DiGraph(5, [(0, 1), (1, 2), (3, 4)])
+    post = dfs_postorder(g)
+    assert sorted(post) == list(range(5))
+
+
+def test_dfs_postorder_on_dag_respects_descendants():
+    """On a DAG, a vertex appears after everything it reaches first."""
+    g = DiGraph(4, [(0, 1), (1, 2), (0, 3)])
+    post = dfs_postorder(g, roots=[0])
+    position = {v: i for i, v in enumerate(post)}
+    assert position[2] < position[1] < position[0]
+    assert position[3] < position[0]
+
+
+def test_dfs_postorder_with_custom_roots():
+    g = DiGraph(4, [(0, 1), (2, 3)])
+    post = dfs_postorder(g, roots=[2, 0, 1, 3])
+    assert sorted(post) == [0, 1, 2, 3]
+    assert post.index(3) < post.index(2)
+
+
+def test_trimmed_bfs_paper_example_8():
+    """Example 8: BFS_low(v3) and BFS_hig(v3) on Fig. 1."""
+    g = paper_example_graph()
+    order = paper_example_order()
+    result = trimmed_bfs(g, 2, order)  # v3
+    assert {x + 1 for x in result.low} == {3, 4, 6, 10, 11}
+    assert {x + 1 for x in result.high} == {1, 2}
+    assert result.edges_scanned > 0
+
+
+def test_trimmed_bfs_source_always_in_low():
+    g = DiGraph(3, [])
+    order = VertexOrder([0, 1, 2])
+    assert trimmed_bfs(g, 2, order).low == [2]
+
+
+def test_trimmed_bfs_highest_order_source_sees_everything():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    order = VertexOrder([0, 1, 2, 3])
+    result = trimmed_bfs(g, 0, order)
+    assert set(result.low) == {0, 1, 2, 3}
+    assert result.high == []
+
+
+def test_trimmed_bfs_blocked_branch_not_explored():
+    # 0 -> 1 -> 2 where 1 has the highest order: BFS from 0 stops at 1.
+    g = DiGraph(3, [(0, 1), (1, 2)])
+    order = VertexOrder([1, 0, 2])
+    result = trimmed_bfs(g, 0, order)
+    assert set(result.low) == {0}
+    assert set(result.high) == {1}
+
+
+def test_trimmed_bfs_cycle_back_to_source():
+    """A cycle returning to the source must not re-add it anywhere."""
+    g = DiGraph(3, [(0, 1), (1, 0), (1, 2)])
+    order = VertexOrder([0, 1, 2])
+    result = trimmed_bfs(g, 0, order)
+    assert result.low == [0, 1, 2]
+    assert result.high == []
+
+
+def _trimmed_oracle(g: DiGraph, source: int, order: VertexOrder):
+    """Brute-force BFS_low/BFS_hig: expand only below-source order."""
+    low = {source}
+    frontier = [source]
+    high = set()
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in g.out_neighbors(u):
+                if w in low or w in high:
+                    continue
+                if order.higher(source, w):
+                    low.add(w)
+                    nxt.append(w)
+                else:
+                    high.add(w)
+        frontier = nxt
+    return low, high
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_trimmed_bfs_matches_oracle(g):
+    order = degree_order(g)
+    for source in range(min(g.num_vertices, 8)):
+        result = trimmed_bfs(g, source, order)
+        low, high = _trimmed_oracle(g, source, order)
+        assert set(result.low) == low
+        assert set(result.high) == high
+        # low and high are disjoint, and high vertices all outrank source.
+        assert not (low & high)
+        assert all(order.higher(u, source) for u in high)
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_property_trimmed_low_is_subset_of_reachable(g):
+    order = degree_order(g)
+    for source in range(min(g.num_vertices, 5)):
+        result = trimmed_bfs(g, source, order)
+        assert set(result.low) <= reachable_set(g, source)

@@ -1,0 +1,77 @@
+"""Tests for edge-update streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicReachabilityIndex
+from repro.core.tol import tol_index
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_digraph
+from repro.workloads.updates import apply_stream, update_stream
+
+
+def test_stream_validity():
+    g = random_digraph(20, 60, seed=1)
+    stream = update_stream(g, 50, seed=2)
+    assert len(stream) == 50
+    present = set(g.edges())
+    for op, u, v in stream:
+        assert u != v
+        if op == "insert":
+            assert (u, v) not in present
+            present.add((u, v))
+        else:
+            assert (u, v) in present
+            present.discard((u, v))
+
+
+def test_stream_deterministic():
+    g = random_digraph(15, 40, seed=3)
+    assert update_stream(g, 30, seed=4) == update_stream(g, 30, seed=4)
+    assert update_stream(g, 30, seed=4) != update_stream(g, 30, seed=5)
+
+
+def test_insert_only_and_delete_only():
+    g = random_digraph(15, 40, seed=6)
+    inserts = update_stream(g, 20, insert_ratio=1.0, seed=7)
+    assert all(op == "insert" for op, _u, _v in inserts)
+    deletes = update_stream(g, 20, insert_ratio=0.0, seed=8)
+    assert all(op == "delete" for op, _u, _v in deletes)
+
+
+def test_delete_only_falls_back_when_empty():
+    g = DiGraph(3, [(0, 1)])
+    stream = update_stream(g, 3, insert_ratio=0.0, seed=9)
+    # One real deletion, then forced insertions.
+    assert stream[0] == ("delete", 0, 1)
+    assert stream[1][0] == "insert"
+
+
+def test_invalid_parameters():
+    g = DiGraph(3, [])
+    with pytest.raises(ValueError):
+        update_stream(g, 5, insert_ratio=1.5)
+    with pytest.raises(ValueError):
+        update_stream(DiGraph(1, []), 5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 10), st.integers(0, 30))
+def test_property_stream_applies_exactly(n, count):
+    g = random_digraph(n, min(2 * n, n * (n - 1)), seed=n)
+    stream = update_stream(g, count, seed=count)
+    dynamic = DynamicReachabilityIndex(g)
+    apply_stream(dynamic, stream)
+    # Edge set evolves exactly as the stream dictates.
+    expected = set(g.edges())
+    for op, u, v in stream:
+        if op == "insert":
+            expected.add((u, v))
+        else:
+            expected.discard((u, v))
+    assert set(dynamic.edges()) == expected
+    # And the maintained index is still exact.
+    assert dynamic.snapshot() == tol_index(
+        dynamic.current_graph(), dynamic._order
+    )

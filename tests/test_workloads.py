@@ -1,0 +1,134 @@
+"""Tests for the dataset registry and query generators."""
+
+import pytest
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.graph.generators import random_digraph, social_graph
+from repro.workloads.datasets import DATASETS, MEDIUM_DATASETS, get_dataset
+from repro.workloads.queries import (
+    balanced_pairs,
+    negative_pairs,
+    positive_pairs,
+    random_pairs,
+)
+
+
+def test_registry_has_all_18_table_v_rows():
+    assert len(DATASETS) == 18
+    expected = {
+        "WEBW", "DBPE", "CITE", "CITP", "TW", "GO", "SINA", "LINK",
+        "WEBB", "GRPH", "TWIT", "HOST", "GSH", "SK", "TWIM", "FRIE",
+        "UK", "WEBS",
+    }
+    assert set(DATASETS) == expected
+
+
+def test_medium_datasets_are_the_figure_six():
+    assert MEDIUM_DATASETS == ("WEBW", "DBPE", "CITE", "CITP", "TW", "GO")
+    for name in MEDIUM_DATASETS:
+        assert DATASETS[name].medium
+
+
+def test_paper_scale_metadata_matches_table_v():
+    assert DATASETS["WEBS"].paper_edges == 3_738_733_648
+    assert DATASETS["WEBW"].paper_vertices == 1_864_433
+    assert DATASETS["SK"].full_name == "Sk-2005"
+
+
+def test_availability_flags_follow_table_vi():
+    # SINA: BFL^C ran, TOL and DRL_b^M did not.
+    sina = DATASETS["SINA"]
+    assert sina.available("bfl-c")
+    assert not sina.available("tol")
+    assert not sina.available("drl-b-m")
+    # WEBB and the other billion-edge graphs lose all three.
+    webb = DATASETS["WEBB"]
+    assert not webb.available("bfl-c")
+    assert not webb.available("tol")
+    # Distributed methods always run.
+    for spec in DATASETS.values():
+        assert spec.available("drl-b")
+        assert spec.available("bfl-d")
+
+
+def test_medium_loads_are_cached_and_deterministic():
+    spec = get_dataset("WEBW")
+    a = spec.load()
+    b = spec.load()
+    assert a is b  # memoized
+    assert a.num_vertices > 1000
+
+
+def test_get_dataset_case_insensitive():
+    assert get_dataset("webw") is DATASETS["WEBW"]
+    with pytest.raises(KeyError):
+        get_dataset("NOPE")
+
+
+def test_dataset_types_match_table_v():
+    assert DATASETS["GRPH"].kind == "synthetic"
+    assert DATASETS["TW"].kind == "social"
+    assert DATASETS["GO"].kind == "biology"
+    assert DATASETS["DBPE"].kind == "knowledge"
+    assert DATASETS["CITE"].kind == "citation"
+    assert DATASETS["UK"].kind == "web"
+
+
+# ----------------------------------------------------------------------
+# Query generators
+# ----------------------------------------------------------------------
+def test_random_pairs_deterministic_in_range():
+    pairs = random_pairs(100, 500, seed=4)
+    assert len(pairs) == 500
+    assert all(0 <= s < 100 and 0 <= t < 100 for s, t in pairs)
+    assert pairs == random_pairs(100, 500, seed=4)
+    assert pairs != random_pairs(100, 500, seed=5)
+
+
+def test_random_pairs_empty_graph_rejected():
+    with pytest.raises(ValueError):
+        random_pairs(0, 10)
+
+
+def test_positive_pairs_are_positive():
+    g = social_graph(300, seed=1)
+    oracle = TransitiveClosure(g)
+    pairs = positive_pairs(g, 50, seed=2)
+    assert len(pairs) == 50
+    assert all(oracle.query(s, t) for s, t in pairs)
+    assert all(s != t for s, t in pairs)
+
+
+def test_positive_pairs_impossible_graph():
+    from repro.graph.digraph import DiGraph
+
+    g = DiGraph(5, [])  # nothing reaches anything else
+    with pytest.raises(ValueError):
+        positive_pairs(g, 5, seed=0, max_attempts_factor=5)
+
+
+def test_negative_pairs_are_negative():
+    g = social_graph(300, seed=3)
+    oracle = TransitiveClosure(g)
+    pairs = negative_pairs(g, oracle.query, 50, seed=4)
+    assert len(pairs) == 50
+    assert not any(oracle.query(s, t) for s, t in pairs)
+
+
+def test_negative_pairs_impossible_graph():
+    from repro.graph.digraph import DiGraph
+
+    n = 4
+    g = DiGraph(n, [(u, v) for u in range(n) for v in range(n) if u != v])
+    oracle = TransitiveClosure(g)
+    with pytest.raises(ValueError):
+        negative_pairs(g, oracle.query, 5, seed=0, max_attempts_factor=5)
+
+
+def test_balanced_pairs_mix():
+    g = random_digraph(200, 500, seed=5)
+    oracle = TransitiveClosure(g)
+    pairs = balanced_pairs(g, oracle.query, 60, seed=6)
+    assert len(pairs) == 60
+    positives = sum(oracle.query(s, t) for s, t in pairs)
+    assert positives == 30
