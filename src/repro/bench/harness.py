@@ -23,7 +23,9 @@ from repro.graph.digraph import DiGraph
 from repro.graph.order import ORDER_STRATEGIES, VertexOrder, degree_order
 from repro.graph.partition import PARTITIONER_STRATEGIES
 from repro.pregel.cost_model import CostModel, paper_scale_model
+from repro.pregel.metrics import RunStats
 from repro.pregel.serial import SerialMeter
+from repro.telemetry import trace_span
 from repro.workloads.datasets import DATASETS, MEDIUM_DATASETS, get_dataset
 from repro.workloads.queries import random_pairs
 
@@ -45,22 +47,49 @@ def _medium_specs(dataset_names: Sequence[str] | None):
     return [get_dataset(name) for name in names]
 
 
+def _cell_stats_attrs(stats: RunStats) -> dict:
+    """The comm/comp split every ``bench.cell`` span carries, so the
+    experiment's table can be reproduced from the trace alone."""
+    return dict(
+        computation_seconds=stats.computation_seconds,
+        communication_seconds=stats.communication_seconds,
+        barrier_seconds=stats.barrier_seconds,
+        simulated_seconds=stats.simulated_seconds,
+    )
+
+
 def _labeled_index_time(
     method: str,
     graph: DiGraph,
     order: VertexOrder,
     num_nodes: int,
     cost_model: CostModel,
+    *,
+    dataset: str = "",
+    experiment: str = "",
+    label: str | None = None,
+    span_attrs: dict | None = None,
     **kwargs,
 ) -> LabelingResult:
-    return build_index(
-        graph,
-        method=method,
-        order=order,
+    with trace_span(
+        "bench.cell",
+        experiment=experiment,
+        dataset=dataset,
+        method=label if label is not None else method,
         num_nodes=num_nodes,
-        cost_model=cost_model,
-        **kwargs,
-    )
+        **(span_attrs or {}),
+    ) as span:
+        result = build_index(
+            graph,
+            method=method,
+            order=order,
+            num_nodes=num_nodes,
+            cost_model=cost_model,
+            **kwargs,
+        )
+        span.set(**_cell_stats_attrs(result.stats))
+        span.add_simulated(result.stats.simulated_seconds)
+    return result
 
 
 def _guard(fn: Callable[[], Cell]) -> Cell:
@@ -124,7 +153,7 @@ def run_table6(
                 continue
             cells = _guard(
                 lambda: _run_table6_method(
-                    method, graph, order, num_nodes, cost_model, pairs
+                    method, graph, order, num_nodes, cost_model, pairs, name
                 )
             )
             if isinstance(cells, Cell):  # failure marker
@@ -138,21 +167,43 @@ def run_table6(
     return time_table, size_table, query_table
 
 
-def _run_table6_method(method, graph, order, num_nodes, cost_model, pairs):
+def _run_table6_method(
+    method, graph, order, num_nodes, cost_model, pairs, dataset=""
+):
     t_op = cost_model.t_op
+    label = TABLE6_LABELS[method]
     if method == "bfl-c":
-        meter = SerialMeter(cost_model)
-        bfl = build_bfl(graph, meter=meter)
-        build = meter.stats().simulated_seconds
+        with trace_span(
+            "bench.cell",
+            experiment="table6",
+            dataset=dataset,
+            method=label,
+            num_nodes=1,
+        ) as span:
+            meter = SerialMeter(cost_model)
+            bfl = build_bfl(graph, meter=meter)
+            stats = meter.stats()
+            build = stats.simulated_seconds
+            span.set(**_cell_stats_attrs(stats))
+            span.add_simulated(build)
         query_meter = SerialMeter(cost_model.with_time_limit(None))
         for s, t in pairs:
             bfl.query(s, t, meter=query_meter)
         per_query = query_meter.simulated_seconds / max(1, len(pairs))
         return build, bfl.size_bytes() / 1024, per_query
     if method == "bfl-d":
-        index, stats = build_bfl_distributed(
-            graph, num_nodes=num_nodes, cost_model=cost_model
-        )
+        with trace_span(
+            "bench.cell",
+            experiment="table6",
+            dataset=dataset,
+            method=label,
+            num_nodes=num_nodes,
+        ) as span:
+            index, stats = build_bfl_distributed(
+                graph, num_nodes=num_nodes, cost_model=cost_model
+            )
+            span.set(**_cell_stats_attrs(stats))
+            span.add_simulated(stats.simulated_seconds)
         total = 0.0
         for s, t in pairs:
             _answer, seconds = index.query_with_cost(s, t)
@@ -173,7 +224,16 @@ def _run_table6_method(method, graph, order, num_nodes, cost_model, pairs):
             node_memory_bytes=cost_model.node_memory_bytes,
         )
     )
-    result = _labeled_index_time(method, graph, order, num_nodes, shared)
+    result = _labeled_index_time(
+        method,
+        graph,
+        order,
+        num_nodes,
+        shared,
+        dataset=dataset,
+        experiment="table6",
+        label=label,
+    )
     return (
         result.stats.simulated_seconds,
         result.index.size_bytes() / 1024,
@@ -204,9 +264,16 @@ def run_fig5_comm_comp(
         for alg in FIG_ALGORITHMS:
             label = FIG_LABELS[alg]
 
-            def run(alg=alg):
+            def run(alg=alg, label=label):
                 result = _labeled_index_time(
-                    alg, graph, order, num_nodes, cost_model
+                    alg,
+                    graph,
+                    order,
+                    num_nodes,
+                    cost_model,
+                    dataset=spec.name,
+                    experiment="fig5",
+                    label=label,
                 )
                 return result
 
@@ -256,7 +323,14 @@ def run_fig6_speedup(
                 cell = _guard(
                     lambda nodes=nodes, alg=alg: Cell(
                         _labeled_index_time(
-                            alg, graph, order, nodes, cost_model
+                            alg,
+                            graph,
+                            order,
+                            nodes,
+                            cost_model,
+                            dataset=spec.name,
+                            experiment="fig6",
+                            label=FIG_LABELS.get(alg, alg),
                         ).stats.simulated_seconds
                     )
                 )
@@ -303,9 +377,17 @@ def run_fig7_scalability(
             order = degree_order(graph)
             for alg in algorithms:
                 cell = _guard(
-                    lambda alg=alg: Cell(
+                    lambda alg=alg, column=column: Cell(
                         _labeled_index_time(
-                            alg, graph, order, num_nodes, cost_model
+                            alg,
+                            graph,
+                            order,
+                            num_nodes,
+                            cost_model,
+                            dataset=spec.name,
+                            experiment="fig7",
+                            label=FIG_LABELS.get(alg, alg),
+                            span_attrs={"fraction": column},
                         ).stats.simulated_seconds
                     )
                 )
@@ -342,6 +424,10 @@ def run_fig8_batch_size(
                         order,
                         num_nodes,
                         cost_model,
+                        dataset=spec.name,
+                        experiment="fig8",
+                        label="DRL_b",
+                        span_attrs={"b": b},
                         initial_batch_size=b,
                         growth_factor=growth_factor,
                     ).stats.simulated_seconds
@@ -377,6 +463,10 @@ def run_fig9_factor_k(
                         order,
                         num_nodes,
                         cost_model,
+                        dataset=spec.name,
+                        experiment="fig9",
+                        label="DRL_b",
+                        span_attrs={"k": k},
                         initial_batch_size=initial_batch_size,
                         growth_factor=k,
                     ).stats.simulated_seconds
@@ -415,7 +505,15 @@ def run_ablation_orders(
             order = ORDER_STRATEGIES[strategy](graph)
             try:
                 result = _labeled_index_time(
-                    "drl-b", graph, order, num_nodes, cost_model
+                    "drl-b",
+                    graph,
+                    order,
+                    num_nodes,
+                    cost_model,
+                    dataset=spec.name,
+                    experiment="ablation-orders",
+                    label="DRL_b",
+                    span_attrs={"order": strategy},
                 )
             except TimeLimitExceeded:
                 time_table.set(spec.name, strategy, Cell.timeout())
@@ -447,13 +545,17 @@ def run_ablation_partitioners(
                 num_nodes, graph.num_vertices
             )
             cell = _guard(
-                lambda partitioner=partitioner: Cell(
+                lambda partitioner=partitioner, strategy=strategy: Cell(
                     _labeled_index_time(
                         "drl-b",
                         graph,
                         order,
                         num_nodes,
                         cost_model,
+                        dataset=spec.name,
+                        experiment="ablation-partitioners",
+                        label="DRL_b",
+                        span_attrs={"partitioner": strategy},
                         partitioner=partitioner,
                     ).stats.communication_seconds
                 )

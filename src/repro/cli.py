@@ -8,14 +8,22 @@ Commands
 - ``query`` — answer reachability queries from a saved index.
 - ``info`` — describe a saved index.
 - ``bench`` — run one paper experiment and print its table(s).
+- ``trace`` — summarize a JSONL telemetry trace.
+
+``build``, ``query``, and ``bench`` accept ``--trace-out PATH`` (export
+spans/events/metrics as JSONL) and ``--verbose`` (mirror telemetry to
+stderr via stdlib logging); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.build import METHOD_NAMES, build_index
 from repro.core.labels import ReachabilityIndex
 from repro.graph import generators
@@ -38,6 +46,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reachability Labeling for Distributed Graphs (ICDE 2022)",
     )
+    telemetry_flags = argparse.ArgumentParser(add_help=False)
+    telemetry_flags.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="export telemetry (spans, events, metrics) as JSONL to PATH",
+    )
+    telemetry_flags.add_argument(
+        "--verbose", action="store_true",
+        help="log telemetry to stderr while running",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list the Table V dataset stand-ins")
@@ -48,7 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--vertices", "-n", type=int, default=1000)
     generate.add_argument("--seed", type=int, default=0)
 
-    build = sub.add_parser("build", help="build an index from an edge list")
+    build = sub.add_parser(
+        "build", help="build an index from an edge list",
+        parents=[telemetry_flags],
+    )
     build.add_argument("graph", type=Path)
     build.add_argument("--output", "-o", type=Path, required=True)
     build.add_argument("--method", choices=sorted(METHOD_NAMES), default="drl-b")
@@ -56,7 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--batch-size", type=float, default=2)
     build.add_argument("--growth-factor", type=float, default=2.0)
 
-    query = sub.add_parser("query", help="answer queries from a saved index")
+    query = sub.add_parser(
+        "query", help="answer queries from a saved index",
+        parents=[telemetry_flags],
+    )
     query.add_argument("index", type=Path)
     query.add_argument("source", type=int, nargs="?")
     query.add_argument("target", type=int, nargs="?")
@@ -80,20 +103,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="check this many random pairs instead of all pairs",
     )
 
-    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench = sub.add_parser(
+        "bench", help="run one paper experiment", parents=[telemetry_flags]
+    )
     bench.add_argument(
         "experiment",
         choices=["table6", "fig5", "fig6", "fig7", "fig8", "fig9"],
     )
     bench.add_argument("--datasets", nargs="*", default=None)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a JSONL telemetry trace"
+    )
+    trace.add_argument("file", type=Path)
+    trace.add_argument(
+        "--top", type=int, default=15,
+        help="span names to show in the ranking (default 15)",
+    )
+    trace.add_argument(
+        "--supersteps", type=int, default=20,
+        help="super-step rows to show (default 20)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # stdout was piped into e.g. `head`; the truncation is
+        # deliberate, so swallow the error instead of tracebacking.
+        # Point the fd at devnull so the interpreter's final flush of
+        # sys.stdout does not raise the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args) -> int:
     handler = _HANDLERS[args.command]
-    return handler(args)
+    trace_out = getattr(args, "trace_out", None)
+    verbose = getattr(args, "verbose", False)
+    if trace_out is None and not verbose:
+        return handler(args)
+
+    from repro.telemetry.sinks import JsonlSink, LoggingSink
+
+    sinks = []
+    with ExitStack() as stack:
+        if trace_out is not None:
+            try:
+                sinks.append(JsonlSink(trace_out))
+            except OSError as exc:
+                print(f"error: cannot write trace to {trace_out}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+                return 2
+        if verbose:
+            handler_obj = logging.StreamHandler(sys.stderr)
+            handler_obj.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+            logger = logging.getLogger("repro.telemetry")
+            logger.setLevel(logging.INFO)
+            logger.addHandler(handler_obj)
+            stack.callback(logger.removeHandler, handler_obj)
+            sinks.append(LoggingSink(logger))
+        with telemetry.session(sinks):
+            with telemetry.trace_span(f"cli.{args.command}"):
+                code = handler(args)
+    if trace_out is not None:
+        print(f"trace written to {trace_out}", file=sys.stderr)
+    return code
 
 
 def _cmd_datasets(args) -> int:
@@ -139,27 +220,62 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _parse_pairs_file(path: Path) -> tuple[list[tuple[int, int]], int]:
+    """Parse a whitespace-separated pairs file, skipping bad lines.
+
+    Returns ``(pairs, skipped)``; each malformed line (fewer than two
+    columns, or non-integer tokens) is reported to stderr.
+    """
+    pairs: list[tuple[int, int]] = []
+    skipped = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            print(
+                f"warning: {path}:{lineno}: expected two columns, "
+                f"got {len(tokens)}; skipped",
+                file=sys.stderr,
+            )
+            skipped += 1
+            continue
+        try:
+            pairs.append((int(tokens[0]), int(tokens[1])))
+        except ValueError:
+            print(
+                f"warning: {path}:{lineno}: non-integer pair "
+                f"{tokens[0]!r} {tokens[1]!r}; skipped",
+                file=sys.stderr,
+            )
+            skipped += 1
+    return pairs, skipped
+
+
 def _cmd_query(args) -> int:
+    from repro.query.service import IndexBackend, QueryService
+
     if not args.index.exists():
         print(f"error: no such file: {args.index}", file=sys.stderr)
         return 2
     index = ReachabilityIndex.load(args.index)
+    skipped = 0
     if args.pairs is not None:
-        pairs = [
-            tuple(map(int, line.split()[:2]))
-            for line in args.pairs.read_text().splitlines()
-            if line.strip()
-        ]
+        pairs, skipped = _parse_pairs_file(args.pairs)
     elif args.source is not None and args.target is not None:
         pairs = [(args.source, args.target)]
     else:
         print("error: give SOURCE TARGET or --pairs FILE", file=sys.stderr)
         return 2
+    service = QueryService(IndexBackend(index))
     for s, t in pairs:
         if not (0 <= s < index.num_vertices and 0 <= t < index.num_vertices):
             print(f"{s} {t} out-of-range")
             continue
-        print(f"{s} {t} {'reachable' if index.query(s, t) else 'unreachable'}")
+        print(f"{s} {t} {'reachable' if service.query(s, t) else 'unreachable'}")
+    if skipped:
+        print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -244,6 +360,21 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.telemetry.report import TraceReadError, read_trace, summarize_trace
+
+    if not args.file.exists():
+        print(f"error: no such file: {args.file}", file=sys.stderr)
+        return 2
+    try:
+        records = read_trace(args.file)
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_trace(records, top=args.top, superstep_limit=args.supersteps))
+    return 0
+
+
 _HANDLERS = {
     "datasets": _cmd_datasets,
     "generate": _cmd_generate,
@@ -253,6 +384,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 

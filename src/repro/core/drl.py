@@ -33,6 +33,7 @@ from repro.graph.partition import Partitioner
 from repro.pregel.cost_model import CostModel
 from repro.pregel.engine import Cluster, ComputeContext, FinalizeContext
 from repro.pregel.vertex_program import VertexProgram
+from repro.telemetry import trace_span
 
 FORWARD = 0
 REVERSE = 1
@@ -284,6 +285,16 @@ def drl_index(
     cluster = Cluster(
         num_nodes=num_nodes, cost_model=cost_model, partitioner=partitioner
     )
-    stats = cluster.run(graph, program)
-    index = ReachabilityIndex.from_label_lists(program.fwd_set, program.rev_set)
+    with trace_span(
+        "drl.build", vertices=graph.num_vertices, num_nodes=num_nodes
+    ) as span:
+        with trace_span("drl.flood") as flood:
+            stats = cluster.run(graph, program)
+            flood.add_simulated(stats.simulated_seconds)
+        with trace_span("drl.collection"):
+            index = ReachabilityIndex.from_label_lists(
+                program.fwd_set, program.rev_set
+            )
+        span.add_simulated(stats.simulated_seconds)
+        span.set(entries=index.num_entries)
     return LabelingResult(index=index, stats=stats)

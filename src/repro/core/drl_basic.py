@@ -26,6 +26,7 @@ from repro.pregel.cost_model import CostModel
 from repro.pregel.engine import Cluster, ComputeContext, FinalizeContext
 from repro.pregel.metrics import RunStats
 from repro.pregel.vertex_program import VertexProgram
+from repro.telemetry import trace_span
 
 
 class _TrimmedFloodProgram(VertexProgram):
@@ -178,10 +179,22 @@ def drl_basic_index(
     stats = RunStats(num_nodes=cluster.num_nodes)
     stats.per_node_units = [0] * cluster.num_nodes
 
-    filtering = _TrimmedFloodProgram(graph, order)
-    cluster.run(graph, filtering, stats=stats)
-    refinement = _DescendantFloodProgram(filtering, graph)
-    cluster.run(graph, refinement, stats=stats)
-
-    index = ReachabilityIndex.from_label_lists(filtering.fwd_set, filtering.rev_set)
+    with trace_span(
+        "drl-.build", vertices=graph.num_vertices, num_nodes=num_nodes
+    ) as span:
+        filtering = _TrimmedFloodProgram(graph, order)
+        with trace_span("drl-.filtering") as phase:
+            cluster.run(graph, filtering, stats=stats)
+            phase.add_simulated(stats.simulated_seconds)
+        refinement = _DescendantFloodProgram(filtering, graph)
+        with trace_span("drl-.refinement") as phase:
+            before = stats.simulated_seconds
+            cluster.run(graph, refinement, stats=stats)
+            phase.add_simulated(stats.simulated_seconds - before)
+        with trace_span("drl-.collection"):
+            index = ReachabilityIndex.from_label_lists(
+                filtering.fwd_set, filtering.rev_set
+            )
+        span.add_simulated(stats.simulated_seconds)
+        span.set(entries=index.num_entries)
     return LabelingResult(index=index, stats=stats)

@@ -27,6 +27,7 @@ from repro.graph.partition import Partitioner
 from repro.pregel.cost_model import CostModel
 from repro.pregel.engine import Cluster
 from repro.pregel.metrics import RunStats
+from repro.telemetry import current_metrics, enabled, trace_span
 
 
 def drl_batch_index(
@@ -68,22 +69,42 @@ def drl_batch_index(
     stats = RunStats(num_nodes=cluster.num_nodes)
     stats.per_node_units = [0] * cluster.num_nodes
 
-    for batch in batches:
-        program = DrlFloodProgram(
-            graph,
-            order,
-            sources=batch,
-            in_label_sets=in_label_sets,
-            out_label_sets=out_label_sets,
-            check_pruning=check_pruning,
-            combine_messages=combine_messages,
-        )
-        cluster.run(graph, program, stats=stats)
-        # Fold the surviving visits into the accumulated label sets
-        # (Alg. 4 line 14: they become the next batch's L^{V_{i+1}}).
-        for w in range(n):
-            in_label_sets[w] |= program.fwd_set[w]
-            out_label_sets[w] |= program.rev_set[w]
-
-    index = ReachabilityIndex.from_label_lists(in_label_sets, out_label_sets)
+    with trace_span(
+        "drl_b.build",
+        vertices=n,
+        num_nodes=cluster.num_nodes,
+        batches=len(batches),
+    ) as span:
+        for number, batch in enumerate(batches, 1):
+            program = DrlFloodProgram(
+                graph,
+                order,
+                sources=batch,
+                in_label_sets=in_label_sets,
+                out_label_sets=out_label_sets,
+                check_pruning=check_pruning,
+                combine_messages=combine_messages,
+            )
+            with trace_span(
+                "drl_b.batch", batch=number, sources=len(batch)
+            ) as batch_span:
+                before = stats.simulated_seconds
+                cluster.run(graph, program, stats=stats)
+                # Fold the surviving visits into the accumulated label sets
+                # (Alg. 4 line 14: they become the next batch's L^{V_{i+1}}).
+                for w in range(n):
+                    in_label_sets[w] |= program.fwd_set[w]
+                    out_label_sets[w] |= program.rev_set[w]
+                batch_span.add_simulated(stats.simulated_seconds - before)
+            if enabled():
+                entries = sum(len(s) for s in in_label_sets) + sum(
+                    len(s) for s in out_label_sets
+                )
+                current_metrics().gauge("drl_b.label_entries").set(entries)
+        with trace_span("drl_b.collection"):
+            index = ReachabilityIndex.from_label_lists(
+                in_label_sets, out_label_sets
+            )
+        span.add_simulated(stats.simulated_seconds)
+        span.set(entries=index.num_entries)
     return LabelingResult(index=index, stats=stats)

@@ -19,8 +19,9 @@ from repro.errors import ReproError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.pregel.cost_model import CostModel
-from repro.pregel.metrics import RunStats
+from repro.pregel.metrics import RunStats, SuperstepTrace
 from repro.pregel.vertex_program import VertexProgram
+from repro.telemetry import ACTIVE_VERTEX_BUCKETS, current_metrics, current_tracer
 
 _EMPTY: tuple = ()
 
@@ -258,87 +259,118 @@ class Cluster:
         chain the batches of DRL_b into one run) and the time-limit check
         covers the accumulated total.  ``trace=True`` records one
         :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
+
+        When a telemetry session is active (see :mod:`repro.telemetry`),
+        the whole run is wrapped in a ``pregel.run`` span and every
+        super-step emits a ``pregel.superstep`` event carrying the
+        :class:`SuperstepTrace` fields, independent of ``trace``.
         """
-        cost = self.cost_model
-        node_of = array(
-            "q", (self.partitioner.node_of(v) for v in graph.vertices())
-        )
-        if stats is None:
-            stats = RunStats(num_nodes=self.num_nodes)
-            stats.per_node_units = [0] * self.num_nodes
-        wall_start = time.perf_counter()
+        tracer = current_tracer()
+        with tracer.span(
+            "pregel.run",
+            program=type(program).__name__,
+            num_nodes=self.num_nodes,
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        ) as span:
+            cost = self.cost_model
+            node_of = array(
+                "q", (self.partitioner.node_of(v) for v in graph.vertices())
+            )
+            if stats is None:
+                stats = RunStats(num_nodes=self.num_nodes)
+                stats.per_node_units = [0] * self.num_nodes
+            wall_start = time.perf_counter()
+            simulated_start = stats.simulated_seconds
 
-        ctx = ComputeContext(graph, self.num_nodes, node_of, cost)
-        ctx._combine = program.combine_duplicates
-        ctx._aggregators = program.aggregators()
-        ctx._agg_current = {
-            name: agg.initial for name, agg in ctx._aggregators.items()
-        }
-        program.setup(ctx)
+            ctx = ComputeContext(graph, self.num_nodes, node_of, cost)
+            ctx._combine = program.combine_duplicates
+            ctx._aggregators = program.aggregators()
+            ctx._agg_current = {
+                name: agg.initial for name, agg in ctx._aggregators.items()
+            }
+            program.setup(ctx)
 
-        inbox: dict[int, list] = {}
-        superstep = 0
-        while True:
-            superstep += 1
-            if superstep > max_supersteps:
-                raise SuperstepLimitExceeded(
-                    f"no termination after {max_supersteps} supersteps"
-                )
-            ctx._begin_superstep(superstep)
-            ctx._base_seconds = stats.simulated_seconds
-            if superstep == 1:
-                active = graph.num_vertices
-                for v in graph.vertices():
-                    ctx._at_vertex(v)
-                    program.compute(ctx, v, _EMPTY)
-            else:
-                active = len(inbox)
-                for v in sorted(inbox):
-                    messages = inbox[v]
-                    ctx._at_vertex(v)
-                    ctx.charge(len(messages))
-                    program.compute(ctx, v, messages)
-            self._close_superstep(ctx, stats, active if trace else -1)
-            program.on_barrier(superstep)
+            inbox: dict[int, list] = {}
+            superstep = 0
+            while True:
+                superstep += 1
+                if superstep > max_supersteps:
+                    raise SuperstepLimitExceeded(
+                        f"no termination after {max_supersteps} supersteps"
+                    )
+                ctx._begin_superstep(superstep)
+                ctx._base_seconds = stats.simulated_seconds
+                if superstep == 1:
+                    active = graph.num_vertices
+                    for v in graph.vertices():
+                        ctx._at_vertex(v)
+                        program.compute(ctx, v, _EMPTY)
+                else:
+                    active = len(inbox)
+                    for v in sorted(inbox):
+                        messages = inbox[v]
+                        ctx._at_vertex(v)
+                        ctx.charge(len(messages))
+                        program.compute(ctx, v, messages)
+                self._close_superstep(ctx, stats, active, trace, tracer)
+                program.on_barrier(superstep)
+                cost.check_time(stats.simulated_seconds)
+                inbox = ctx._next_inbox
+                if not inbox:
+                    break
+
+            fctx = FinalizeContext(
+                graph, self.num_nodes, node_of, cost, stats.simulated_seconds
+            )
+            program.finalize(fctx)
+            finalize_units = fctx._units
+            if any(finalize_units):
+                stats.supersteps += 1
+                stats.compute_units += sum(finalize_units)
+                stats.computation_seconds += max(finalize_units) * cost.t_op
+                stats.barrier_seconds += cost.t_barrier
+                for node, units in enumerate(finalize_units):
+                    stats.per_node_units[node] += units
             cost.check_time(stats.simulated_seconds)
-            inbox = ctx._next_inbox
-            if not inbox:
-                break
-
-        fctx = FinalizeContext(
-            graph, self.num_nodes, node_of, cost, stats.simulated_seconds
-        )
-        program.finalize(fctx)
-        finalize_units = fctx._units
-        if any(finalize_units):
-            stats.supersteps += 1
-            stats.compute_units += sum(finalize_units)
-            stats.computation_seconds += max(finalize_units) * cost.t_op
-            stats.barrier_seconds += cost.t_barrier
-            for node, units in enumerate(finalize_units):
-                stats.per_node_units[node] += units
-        cost.check_time(stats.simulated_seconds)
-        stats.wall_seconds += time.perf_counter() - wall_start
+            stats.wall_seconds += time.perf_counter() - wall_start
+            if tracer.enabled:
+                span.set(supersteps=superstep)
+                span.add_simulated(stats.simulated_seconds - simulated_start)
         return stats
 
     def _close_superstep(
-        self, ctx: ComputeContext, stats: RunStats, traced_active: int = -1
+        self,
+        ctx: ComputeContext,
+        stats: RunStats,
+        active: int,
+        trace: bool = False,
+        tracer=None,
     ) -> None:
         cost = self.cost_model
-        if traced_active >= 0:
-            from repro.pregel.metrics import SuperstepTrace
-
-            stats.trace.append(
-                SuperstepTrace(
-                    superstep=ctx.superstep,
-                    active_vertices=traced_active,
-                    compute_units=sum(ctx._units),
-                    max_node_units=max(ctx._units),
-                    remote_messages=ctx._remote_messages,
-                    remote_bytes=sum(ctx._recv_bytes),
-                    broadcast_bytes=ctx._broadcast_bytes,
-                )
+        telemetry_on = tracer is not None and tracer.enabled
+        if trace or telemetry_on:
+            row = SuperstepTrace(
+                superstep=ctx.superstep,
+                active_vertices=active,
+                compute_units=sum(ctx._units),
+                max_node_units=max(ctx._units),
+                remote_messages=ctx._remote_messages,
+                remote_bytes=sum(ctx._recv_bytes),
+                broadcast_bytes=ctx._broadcast_bytes,
             )
+            if trace:
+                stats.trace.append(row)
+            if telemetry_on:
+                tracer.event("pregel.superstep", **row.to_dict())
+                metrics = current_metrics()
+                metrics.counter("pregel.supersteps").inc()
+                metrics.counter("pregel.remote_messages").inc(
+                    ctx._remote_messages
+                )
+                metrics.histogram(
+                    "pregel.active_vertices", ACTIVE_VERTEX_BUCKETS
+                ).observe(active)
         stats.supersteps += 1
         stats.compute_units += sum(ctx._units)
         stats.local_messages += ctx._local_messages

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass(frozen=True)
@@ -16,6 +16,10 @@ class SuperstepTrace:
     remote_messages: int
     remote_bytes: int
     broadcast_bytes: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (telemetry event payload, JSONL export)."""
+        return asdict(self)
 
 
 @dataclass
@@ -56,7 +60,22 @@ class RunStats:
         return self.local_messages + self.remote_messages
 
     def merge(self, other: "RunStats") -> "RunStats":
-        """Accumulate another phase's stats into this one (in place)."""
+        """Accumulate another phase's stats into this one (in place).
+
+        ``num_nodes`` must agree — merging runs from differently sized
+        clusters would make ``per_node_units`` and the max-per-node time
+        formula meaningless.  A pristine accumulator (no work recorded
+        yet) adopts ``other``'s node count instead.  Trace rows are
+        concatenated in phase order.
+        """
+        if other.num_nodes != self.num_nodes:
+            if self.supersteps == 0 and not self.per_node_units:
+                self.num_nodes = other.num_nodes
+            else:
+                raise ValueError(
+                    f"cannot merge stats from a {other.num_nodes}-node run "
+                    f"into a {self.num_nodes}-node accumulator"
+                )
         self.supersteps += other.supersteps
         self.compute_units += other.compute_units
         self.local_messages += other.local_messages
@@ -73,6 +92,7 @@ class RunStats:
             )
         for node, units in enumerate(other.per_node_units):
             self.per_node_units[node] += units
+        self.trace.extend(other.trace)
         return self
 
     def summary(self) -> str:

@@ -11,6 +11,13 @@ from repro.baselines.online import OnlineSearcher
 from repro.core.labels import ReachabilityIndex
 from repro.graph.digraph import DiGraph
 from repro.pregel.cost_model import CostModel
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    current_metrics,
+    enabled,
+    trace_span,
+)
 
 
 class QueryBackend(Protocol):
@@ -150,24 +157,60 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
 
 
 class QueryService:
-    """Evaluates query workloads against a backend."""
+    """Evaluates query workloads against a backend.
 
-    def __init__(self, backend: QueryBackend):
+    When a telemetry session is active (or ``metrics`` is given
+    explicitly), every query feeds the ``query.latency_seconds``
+    histogram and the ``query.count`` / ``query.positives`` counters,
+    and :meth:`evaluate` runs inside a ``query.evaluate`` span whose
+    simulated seconds are the workload's total latency.
+    """
+
+    def __init__(
+        self, backend: QueryBackend, metrics: MetricsRegistry | None = None
+    ):
         self._backend = backend
+        self._metrics = metrics
+
+    def _registry(self) -> MetricsRegistry | None:
+        """Explicit registry, the session's when active, else none."""
+        if self._metrics is not None:
+            return self._metrics
+        return current_metrics() if enabled() else None
+
+    @staticmethod
+    def _record(registry: MetricsRegistry, answer: bool, seconds: float) -> None:
+        registry.counter("query.count").inc()
+        if answer:
+            registry.counter("query.positives").inc()
+        registry.histogram("query.latency_seconds", LATENCY_BUCKETS).observe(
+            seconds
+        )
 
     def query(self, s: int, t: int) -> bool:
         """Single query, answer only."""
-        answer, _seconds = self._backend.query_with_cost(s, t)
+        answer, seconds = self._backend.query_with_cost(s, t)
+        registry = self._registry()
+        if registry is not None:
+            self._record(registry, answer, seconds)
         return answer
 
     def evaluate(self, pairs: Iterable[tuple[int, int]]) -> QueryReport:
         """Run every pair and collect latency statistics."""
+        registry = self._registry()
         latencies: list[float] = []
         positives = 0
-        for s, t in pairs:
-            answer, seconds = self._backend.query_with_cost(s, t)
-            positives += answer
-            latencies.append(seconds)
+        with trace_span(
+            "query.evaluate", backend=type(self._backend).__name__
+        ) as span:
+            for s, t in pairs:
+                answer, seconds = self._backend.query_with_cost(s, t)
+                positives += answer
+                latencies.append(seconds)
+                if registry is not None:
+                    self._record(registry, answer, seconds)
+            span.set(count=len(latencies), positives=positives)
+            span.add_simulated(sum(latencies))
         if not latencies:
             return QueryReport(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         latencies.sort()

@@ -1,0 +1,110 @@
+"""``repro.telemetry`` — spans, metrics, and trace export.
+
+The observability layer behind every instrumented code path:
+
+- :mod:`~repro.telemetry.spans` — nested, timestamped spans carrying
+  wall *and* simulated seconds, plus point-in-time events;
+- :mod:`~repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`MetricsRegistry`;
+- :mod:`~repro.telemetry.sinks` — in-memory, JSONL-file, and
+  stdlib-logging destinations;
+- :mod:`~repro.telemetry.report` — summaries of exported JSONL traces
+  (the ``repro trace`` subcommand).
+
+Telemetry is off by default and near-free when off: instrumented code
+checks one attribute (``tracer.enabled``) and moves on.  Turn it on for
+a block of work with :func:`session`::
+
+    from repro.telemetry import session
+    from repro.telemetry.sinks import JsonlSink
+
+    with session([JsonlSink("run.jsonl")]):
+        build_index(graph, method="drl-b")
+
+On exit the session flushes the metrics registry into every sink and
+closes them.  See ``docs/observability.md`` for the JSONL schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import (
+    ACTIVE_VERTEX_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.telemetry.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    activate,
+    current_tracer,
+    set_tracer,
+    trace_event,
+    trace_span,
+)
+
+__all__ = [
+    "ACTIVE_VERTEX_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "activate",
+    "current_metrics",
+    "current_tracer",
+    "enabled",
+    "exponential_buckets",
+    "session",
+    "set_tracer",
+    "trace_event",
+    "trace_span",
+]
+
+_metrics = MetricsRegistry()
+
+
+def current_metrics() -> MetricsRegistry:
+    """The active metrics registry (a fresh one inside each session)."""
+    return _metrics
+
+
+def enabled() -> bool:
+    """True when a real tracer is installed (telemetry session active)."""
+    return current_tracer().enabled
+
+
+@contextmanager
+def session(sinks=()) -> Iterator[Tracer]:
+    """Run a telemetry session: install a tracer and a fresh registry.
+
+    On exit the registry's metrics are flushed to every sink
+    (``on_metrics``), the sinks are closed, and the previous
+    tracer/registry are restored — sessions nest cleanly.
+    """
+    global _metrics
+    tracer = Tracer(sinks)
+    previous_metrics = _metrics
+    _metrics = MetricsRegistry()
+    try:
+        with activate(tracer):
+            yield tracer
+    finally:
+        for sink in tracer.sinks:
+            sink.on_metrics(_metrics)
+            sink.close()
+        _metrics = previous_metrics

@@ -82,6 +82,19 @@ def test_query_pairs_file(tmp_path, index_file, capsys):
     assert "500 0 out-of-range" in out
 
 
+def test_query_pairs_skips_malformed_lines(tmp_path, index_file, capsys):
+    pairs = tmp_path / "pairs.txt"
+    pairs.write_text("0 0\nnot numbers\n7\n1 2\n3 x\n\n")
+    assert main(["query", str(index_file), "--pairs", str(pairs)]) == 1
+    captured = capsys.readouterr()
+    assert "0 0 reachable" in captured.out  # valid lines still answered
+    assert "1 2" in captured.out
+    assert captured.err.count("skipped") == 4  # 3 line warnings + summary
+    assert "expected two columns" in captured.err
+    assert "non-integer pair" in captured.err
+    assert "skipped 3 malformed line(s)" in captured.err
+
+
 def test_query_requires_arguments(index_file, capsys):
     assert main(["query", str(index_file)]) == 2
     assert "SOURCE TARGET" in capsys.readouterr().err
@@ -140,3 +153,74 @@ def test_bench_fig8_single_dataset(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# Telemetry flags and the trace subcommand
+# ----------------------------------------------------------------------
+def test_build_trace_out_then_trace_summary(tmp_path, graph_file, capsys):
+    import json
+
+    trace_file = tmp_path / "build.jsonl"
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "g.idx"),
+                 "--nodes", "4", "--trace-out", str(trace_file)]) == 0
+    captured = capsys.readouterr()
+    assert f"trace written to {trace_file}" in captured.err
+    records = [json.loads(line)
+               for line in trace_file.read_text().splitlines()]
+    kinds = {r["kind"] for r in records}
+    assert kinds == {"span", "event", "metric"}
+    names = {r["name"] for r in records if r["kind"] == "span"}
+    assert "cli.build" in names and "pregel.run" in names
+    assert "drl_b.batch" in names
+
+    assert main(["trace", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "Top spans by simulated time" in out
+    assert "Super-steps of the longest run" in out
+    assert "pregel.supersteps" in out
+
+
+def test_query_verbose_logs_telemetry(index_file, capsys):
+    assert main(["query", str(index_file), "0", "0", "--verbose"]) == 0
+    captured = capsys.readouterr()
+    assert "0 0 reachable" in captured.out
+    assert "span cli.query" in captured.err
+    assert "metric query.count=1" in captured.err
+
+
+def test_bench_fig5_trace_out_reproduces_table(tmp_path, capsys):
+    trace_file = tmp_path / "fig5.jsonl"
+    assert main(["bench", "fig5", "--datasets", "GO",
+                 "--trace-out", str(trace_file)]) == 0
+    bench_out = capsys.readouterr().out
+    assert main(["trace", str(trace_file)]) == 0
+    trace_out = capsys.readouterr().out
+    assert "Experiment fig5" in trace_out
+    # The cell values the harness printed reappear from the spans alone.
+    bench_row = next(l for l in bench_out.splitlines() if l.startswith("GO"))
+    trace_row = next(
+        l for l in trace_out.splitlines()
+        if l.startswith("GO") and "comp" not in l
+    )
+    for value in bench_row.split("|")[1:]:
+        assert value.strip() in trace_row
+
+
+def test_trace_out_unwritable_path(tmp_path, graph_file, capsys):
+    bad = tmp_path / "no-such-dir" / "t.jsonl"
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "g.idx"),
+                 "--trace-out", str(bad)]) == 2
+    assert "cannot write trace" in capsys.readouterr().err
+
+
+def test_trace_missing_file(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "none.jsonl")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_trace_rejects_non_jsonl(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("this is not json\n")
+    assert main(["trace", str(bad)]) == 2
+    assert "not JSON" in capsys.readouterr().err

@@ -176,6 +176,37 @@ def test_stats_merge():
     assert a.per_node_units == [6, 3]
 
 
+def test_stats_merge_concatenates_traces():
+    g = _path_graph(4)
+    cluster = Cluster(num_nodes=2)
+    first = cluster.run(g, FloodFrom(0), trace=True)
+    second = cluster.run(g, FloodFrom(0), trace=True)
+    merged = RunStats(num_nodes=2, per_node_units=[0, 0])
+    merged.merge(first).merge(second)
+    assert len(merged.trace) == len(first.trace) + len(second.trace)
+    assert merged.trace == first.trace + second.trace
+
+
+def test_stats_merge_rejects_node_count_mismatch():
+    a = RunStats(num_nodes=2, per_node_units=[1, 2])
+    a.supersteps = 1
+    b = RunStats(num_nodes=4, per_node_units=[1, 1, 1, 1])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_stats_merge_pristine_adopts_node_count():
+    accumulator = RunStats()  # default 1-node, nothing recorded yet
+    b = RunStats(num_nodes=4, per_node_units=[1, 2, 3, 4])
+    b.supersteps = 2
+    accumulator.merge(b)
+    assert accumulator.num_nodes == 4
+    assert accumulator.per_node_units == [1, 2, 3, 4]
+    # A second merge with a different node count now fails.
+    with pytest.raises(ValueError):
+        accumulator.merge(RunStats(num_nodes=2, per_node_units=[1, 1]))
+
+
 def test_stats_summary_renders():
     stats = RunStats(num_nodes=2, per_node_units=[1, 1])
     text = stats.summary()
