@@ -1,0 +1,37 @@
+"""Robustness: DRL_b builds under an injected crash + straggler + lossy
+network, versus the same builds fault-free.
+
+Expected shape: every faulty build completes after recovery with an
+index identical to the clean one (the ``identical`` column is all 1s);
+the faulty build is strictly slower, and the slowdown decomposes into
+nonzero ``recovery s`` (discarded work + failover + checkpoint restore)
+and ``checkpoint s`` (periodic snapshot writes).
+"""
+
+from __future__ import annotations
+
+from conftest import FIG_DATASETS, save_and_print
+
+from repro.bench import run_fault_recovery
+
+
+def _run():
+    return run_fault_recovery(dataset_names=FIG_DATASETS)
+
+
+def test_fault_recovery(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_and_print("fault_recovery", table.render())
+
+    assert table.rows, "no datasets ran"
+    for row in table.rows:
+        identical = table.get(row, "identical")
+        assert identical.ok and identical.value == 1.0, (
+            f"faulty build diverged from clean index on {row}"
+        )
+        clean = table.get(row, "clean s")
+        faulty = table.get(row, "faulty s")
+        recovery = table.get(row, "recovery s")
+        assert clean.ok and faulty.ok and recovery.ok
+        assert faulty.value > clean.value, f"faults were free on {row}"
+        assert recovery.value > 0.0, f"no recovery cost recorded on {row}"

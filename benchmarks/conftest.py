@@ -14,10 +14,16 @@ FIG_DATASETS = ("WEBW", "CITP") if FAST else None
 
 
 def save_and_print(name: str, text: str) -> None:
-    """Persist a rendered table under benchmarks/results/ and echo it."""
+    """Persist a rendered table under benchmarks/results/ and echo it.
+
+    The write is atomic (temp file + rename), so an interrupted
+    benchmark never leaves a truncated result file behind.
+    """
+    from repro.bench.results import atomic_write_text
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n", encoding="utf-8")
+    atomic_write_text(path, text + "\n")
     print()
     print(text)
     print(f"[saved to {path}]")

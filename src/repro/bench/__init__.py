@@ -8,14 +8,22 @@ from repro.bench.harness import (
     run_fig6_speedup,
     run_fig7_scalability,
     run_fig8_batch_size,
+    run_fault_recovery,
     run_fig9_factor_k,
     run_table6,
 )
-from repro.bench.results import Cell, ExperimentTable
+from repro.bench.results import (
+    Cell,
+    ExperimentTable,
+    atomic_write_text,
+    capture_tables,
+)
 
 __all__ = [
     "Cell",
     "ExperimentTable",
+    "atomic_write_text",
+    "capture_tables",
     "run_ablation_check_pruning",
     "run_ablation_orders",
     "run_ablation_partitioners",
@@ -23,6 +31,7 @@ __all__ = [
     "run_fig6_speedup",
     "run_fig7_scalability",
     "run_fig8_batch_size",
+    "run_fault_recovery",
     "run_fig9_factor_k",
     "run_table6",
 ]

@@ -599,3 +599,77 @@ def run_ablation_check_pruning(
             )
             table.set(spec.name, column, cell)
     return table
+
+
+# ----------------------------------------------------------------------
+# Robustness: fault injection and recovery overhead
+# ----------------------------------------------------------------------
+#: The default scenario of ``run_fault_recovery``: one node dies a few
+#: super-steps in, another runs 4x slow, and 1% of remote messages need
+#: retransmission.  Deterministic via the embedded seed.
+DEFAULT_FAULT_SPEC = "crash=1@3,straggler=2x4.0,loss=0.01,seed=42"
+
+
+def run_fault_recovery(
+    dataset_names: Sequence[str] | None = None,
+    num_nodes: int = 32,
+    cost_model: CostModel | None = None,
+    fault_spec: str = DEFAULT_FAULT_SPEC,
+    checkpoint_interval: int = 2,
+) -> ExperimentTable:
+    """Build DRL_b fault-free and under a fault plan, side by side.
+
+    Columns: clean and faulty build times, the recovery and checkpoint
+    components of the faulty build, and whether the two indexes are
+    identical (they must be — 1 = identical, 0 would be a bug).
+    """
+    from repro.faults import FaultPlan
+
+    if cost_model is None:
+        cost_model = paper_scale_model()
+    plan = FaultPlan.parse(fault_spec)
+    columns = [
+        "clean s", "faulty s", "recovery s", "checkpoint s", "identical"
+    ]
+    table = ExperimentTable(
+        f"Robustness — DRL_b under faults ({plan.describe()}; "
+        f"checkpoint every {checkpoint_interval})",
+        columns,
+        precision=6,
+    )
+    for spec in _medium_specs(dataset_names):
+        graph = spec.load()
+        order = degree_order(graph)
+        clean = _guard(
+            lambda: _labeled_index_time(
+                "drl-b", graph, order, num_nodes, cost_model,
+                dataset=spec.name, experiment="faults", label="clean",
+            )
+        )
+        if isinstance(clean, Cell):  # failure marker
+            for column in columns:
+                table.set(spec.name, column, clean)
+            continue
+        table.set(spec.name, "clean s", clean.stats.simulated_seconds)
+        clean_index = clean.index
+
+        def _faulty() -> LabelingResult:
+            return _labeled_index_time(
+                "drl-b", graph, order, num_nodes, cost_model,
+                dataset=spec.name, experiment="faults", label="faulty",
+                faults=plan, checkpoint_interval=checkpoint_interval,
+            )
+
+        faulty = _guard(_faulty)
+        if isinstance(faulty, Cell):  # failure marker
+            for column in columns[1:]:
+                table.set(spec.name, column, faulty)
+            continue
+        stats = faulty.stats
+        table.set(spec.name, "faulty s", stats.simulated_seconds)
+        table.set(spec.name, "recovery s", stats.recovery_seconds)
+        table.set(spec.name, "checkpoint s", stats.checkpoint_seconds)
+        table.set(
+            spec.name, "identical", float(faulty.index == clean_index)
+        )
+    return table

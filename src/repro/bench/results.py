@@ -2,7 +2,55 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Stack of active :func:`capture_tables` buckets; every
+#: :class:`ExperimentTable` created while a bucket is open registers
+#: itself there, so an interrupted benchmark can flush partial results.
+_CAPTURE_STACK: list[list["ExperimentTable"]] = []
+
+
+@contextmanager
+def capture_tables():
+    """Collect every :class:`ExperimentTable` created inside the block.
+
+    Used by the CLI's ``bench`` command to recover partially filled
+    tables when the run is interrupted (Ctrl-C): the tables fill cell
+    by cell as experiments run, so whatever was measured before the
+    interrupt is still printable.
+    """
+    bucket: list[ExperimentTable] = []
+    _CAPTURE_STACK.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _CAPTURE_STACK.remove(bucket)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash or interrupt mid-write leaves either the previous file or
+    the complete new one — never a truncated result file.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass(frozen=True)
@@ -49,6 +97,10 @@ class ExperimentTable:
     cells: dict[tuple[str, str], Cell] = field(default_factory=dict)
     scientific: bool = False
     precision: int = 4
+
+    def __post_init__(self) -> None:
+        for bucket in _CAPTURE_STACK:
+            bucket.append(self)
 
     def set(self, row: str, column: str, cell: Cell | float) -> None:
         """Record a measurement (floats are wrapped automatically)."""

@@ -26,9 +26,11 @@ from pathlib import Path
 from repro import telemetry
 from repro.core.build import METHOD_NAMES, build_index
 from repro.core.labels import ReachabilityIndex
+from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.graph import generators
 from repro.graph.io import read_edge_list, write_edge_list
-from repro.pregel.cost_model import paper_scale_model
+from repro.pregel.cost_model import CostModel, paper_scale_model
 from repro.workloads.datasets import DATASETS
 
 _GENERATORS = {
@@ -75,6 +77,22 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--nodes", type=int, default=32)
     build.add_argument("--batch-size", type=float, default=2)
     build.add_argument("--growth-factor", type=float, default=2.0)
+    build.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults during the build; SPEC is comma-separated "
+        "clauses: crash=NODE@SUPERSTEP, straggler=NODExFACTOR, "
+        "loss=RATE, dup=RATE, seed=N "
+        "(e.g. 'crash=3@5,straggler=2x4.0,loss=0.01,seed=42')",
+    )
+    build.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="checkpoint vertex state every N supersteps so crashed "
+        "builds recover from the last checkpoint instead of restarting",
+    )
+    build.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="simulated-time cut-off for the build (default 7200)",
+    )
 
     query = sub.add_parser(
         "query", help="answer queries from a saved index",
@@ -108,7 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "experiment",
-        choices=["table6", "fig5", "fig6", "fig7", "fig8", "fig9"],
+        choices=["table6", "fig5", "fig6", "fig7", "fig8", "fig9", "faults"],
     )
     bench.add_argument("--datasets", nargs="*", default=None)
 
@@ -132,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
+    except ReproError as exc:
+        # Simulated-resource failures (time limit, memory, super-step
+        # limit) and bad fault specs are expected outcomes, not bugs:
+        # report them like any other usage error instead of tracebacking.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # stdout was piped into e.g. `head`; the truncation is
         # deliberate, so swallow the error instead of tracebacking.
@@ -206,6 +230,32 @@ def _cmd_build(args) -> int:
         kwargs = dict(
             initial_batch_size=args.batch_size, growth_factor=args.growth_factor
         )
+    if args.faults is not None or args.checkpoint_interval is not None:
+        if args.method == "tol":
+            print(
+                "error: --faults/--checkpoint-interval need a cluster "
+                "method; the serial 'tol' baseline has no nodes to fail",
+                file=sys.stderr,
+            )
+            return 2
+        if args.faults is not None:
+            plan = FaultPlan.parse(args.faults)
+            try:
+                plan.validate_for(args.nodes)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            kwargs["faults"] = plan
+        if args.checkpoint_interval is not None:
+            if args.checkpoint_interval < 1:
+                print(
+                    "error: --checkpoint-interval must be at least 1",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["checkpoint_interval"] = args.checkpoint_interval
+    if args.time_limit is not None:
+        kwargs["cost_model"] = CostModel().with_time_limit(args.time_limit)
     result = build_index(
         graph, method=args.method, num_nodes=args.nodes, **kwargs
     )
@@ -335,25 +385,39 @@ def _cmd_validate(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.bench import harness
+    from repro.bench.results import capture_tables
 
     names = args.datasets
     model = paper_scale_model()
-    if args.experiment == "table6":
-        tables = harness.run_table6(dataset_names=names, cost_model=model)
-    elif args.experiment == "fig5":
-        tables = (harness.run_fig5_comm_comp(names, cost_model=model),)
-    elif args.experiment == "fig6":
-        tables = tuple(
-            harness.run_fig6_speedup(names, cost_model=model).values()
-        )
-    elif args.experiment == "fig7":
-        tables = tuple(
-            harness.run_fig7_scalability(names, cost_model=model).values()
-        )
-    elif args.experiment == "fig8":
-        tables = (harness.run_fig8_batch_size(names, cost_model=model),)
-    else:
-        tables = (harness.run_fig9_factor_k(names, cost_model=model),)
+    with capture_tables() as started:
+        try:
+            if args.experiment == "table6":
+                tables = harness.run_table6(dataset_names=names, cost_model=model)
+            elif args.experiment == "fig5":
+                tables = (harness.run_fig5_comm_comp(names, cost_model=model),)
+            elif args.experiment == "fig6":
+                tables = tuple(
+                    harness.run_fig6_speedup(names, cost_model=model).values()
+                )
+            elif args.experiment == "fig7":
+                tables = tuple(
+                    harness.run_fig7_scalability(names, cost_model=model).values()
+                )
+            elif args.experiment == "fig8":
+                tables = (harness.run_fig8_batch_size(names, cost_model=model),)
+            elif args.experiment == "fig9":
+                tables = (harness.run_fig9_factor_k(names, cost_model=model),)
+            else:
+                tables = (harness.run_fault_recovery(names, cost_model=model),)
+        except KeyboardInterrupt:
+            # Measurements land in their tables cell by cell; print what
+            # completed before the interrupt instead of discarding it.
+            print("interrupted — partial results:", file=sys.stderr)
+            for table in started:
+                if table.rows:
+                    print(table.render())
+                    print()
+            return 130
     for table in tables:
         print(table.render())
         print()

@@ -56,7 +56,10 @@ def build_index(
         ``"tol"``.
     kwargs:
         Method-specific options (``cost_model``, ``partitioner``,
-        ``initial_batch_size``, ``growth_factor``, ...).
+        ``initial_batch_size``, ``growth_factor``, ``faults``,
+        ``checkpoint_interval``, ...).  The serial ``"tol"`` baseline
+        runs on one machine and ignores cluster-only options such as
+        fault plans.
 
     Returns
     -------

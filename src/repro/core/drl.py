@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.labels import LabelingResult, ReachabilityIndex
+from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder, degree_order
 from repro.graph.partition import Partitioner
@@ -269,10 +270,15 @@ def drl_index(
     partitioner: Partitioner | None = None,
     check_pruning: bool = True,
     combine_messages: bool = False,
+    faults: FaultPlan | None = None,
+    checkpoint_interval: int | None = None,
 ) -> LabelingResult:
     """Build the TOL index with DRL (Algorithm 3) on a simulated cluster.
 
-    Returns the index together with the run's cost accounting.
+    Returns the index together with the run's cost accounting.  With a
+    ``faults`` plan (see :mod:`repro.faults`) the build rides out the
+    injected failures and still produces the identical index; recovery
+    overhead lands in the returned stats.
     """
     if order is None:
         order = degree_order(graph)
@@ -283,7 +289,11 @@ def drl_index(
         combine_messages=combine_messages,
     )
     cluster = Cluster(
-        num_nodes=num_nodes, cost_model=cost_model, partitioner=partitioner
+        num_nodes=num_nodes,
+        cost_model=cost_model,
+        partitioner=partitioner,
+        faults=faults,
+        checkpoint_interval=checkpoint_interval,
     )
     with trace_span(
         "drl.build", vertices=graph.num_vertices, num_nodes=num_nodes

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.drl import FORWARD, REVERSE
 from repro.core.labels import LabelingResult, ReachabilityIndex
+from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder, degree_order
 from repro.graph.partition import Partitioner
@@ -164,17 +165,25 @@ def drl_basic_index(
     num_nodes: int = 32,
     cost_model: CostModel | None = None,
     partitioner: Partitioner | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint_interval: int | None = None,
 ) -> LabelingResult:
     """Build the TOL index with DRL⁻ (Theorem 3) on a simulated cluster.
 
     May raise :class:`~repro.errors.TimeLimitExceeded`: on graphs with
     many blockers the refinement floods exceed the cut-off, exactly as
-    in the paper's Fig. 5/6 failure markers.
+    in the paper's Fig. 5/6 failure markers.  Both phases share one
+    cluster, so a fault plan's crash events fire at most once across
+    the whole build.
     """
     if order is None:
         order = degree_order(graph)
     cluster = Cluster(
-        num_nodes=num_nodes, cost_model=cost_model, partitioner=partitioner
+        num_nodes=num_nodes,
+        cost_model=cost_model,
+        partitioner=partitioner,
+        faults=faults,
+        checkpoint_interval=checkpoint_interval,
     )
     stats = RunStats(num_nodes=cluster.num_nodes)
     stats.per_node_units = [0] * cluster.num_nodes

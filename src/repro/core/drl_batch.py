@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.batching import batch_sequence
 from repro.core.drl import DrlFloodProgram
 from repro.core.labels import LabelingResult, ReachabilityIndex
+from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder, degree_order
 from repro.graph.partition import Partitioner
@@ -41,6 +42,8 @@ def drl_batch_index(
     check_pruning: bool = True,
     combine_messages: bool = False,
     batches: list[list[int]] | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint_interval: int | None = None,
 ) -> LabelingResult:
     """Build the TOL index with DRL_b on a simulated cluster.
 
@@ -55,6 +58,11 @@ def drl_batch_index(
     batches:
         Explicit batch sequence overriding ``b``/``k`` (must satisfy
         Definition 7; validated by the flood's correctness, not here).
+    faults, checkpoint_interval:
+        Fault plan and checkpoint cadence (see :mod:`repro.faults`).
+        All batch runs share one cluster, so each crash event fires at
+        most once across the whole build and a node lost in batch ``i``
+        stays dead for batches ``i+1, ...``.
     """
     if order is None:
         order = degree_order(graph)
@@ -62,7 +70,11 @@ def drl_batch_index(
         batches = batch_sequence(order, initial_batch_size, growth_factor)
     n = graph.num_vertices
     cluster = Cluster(
-        num_nodes=num_nodes, cost_model=cost_model, partitioner=partitioner
+        num_nodes=num_nodes,
+        cost_model=cost_model,
+        partitioner=partitioner,
+        faults=faults,
+        checkpoint_interval=checkpoint_interval,
     )
     in_label_sets: list[set[int]] = [set() for _ in range(n)]
     out_label_sets: list[set[int]] = [set() for _ in range(n)]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.drl_batch import drl_batch_index
 from repro.core.labels import LabelingResult
+from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder
 from repro.graph.partition import Partitioner
@@ -29,11 +30,15 @@ def drl_multicore_index(
     growth_factor: float = 2.0,
     cost_model: CostModel | None = None,
     partitioner: Partitioner | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint_interval: int | None = None,
 ) -> LabelingResult:
     """Build the TOL index with DRL_b^M on one multi-core machine.
 
     Raises :class:`~repro.errors.OutOfMemoryError` when the graph plus
-    working state exceeds the single machine's budget.
+    working state exceeds the single machine's budget.  A fault plan
+    here models core/process failures (a worker process dying mid-build)
+    with the same recovery semantics as the distributed variants.
     """
     if cost_model is None:
         cost_model = shared_memory_model()
@@ -49,4 +54,6 @@ def drl_multicore_index(
         growth_factor=growth_factor,
         cost_model=cost_model,
         partitioner=partitioner,
+        faults=faults,
+        checkpoint_interval=checkpoint_interval,
     )

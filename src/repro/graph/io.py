@@ -86,7 +86,10 @@ def read_binary(path: str | Path) -> DiGraph:
         magic = handle.read(4)
         if magic != _BINARY_MAGIC:
             raise ValueError(f"{path}: not a repro binary graph (bad magic)")
-        version, n, m = struct.unpack("<IQQ", handle.read(20))
+        header = handle.read(20)
+        if len(header) != 20:
+            raise ValueError(f"{path}: truncated header")
+        version, n, m = struct.unpack("<IQQ", header)
         if version != _BINARY_VERSION:
             raise ValueError(f"{path}: unsupported binary version {version}")
         payload = handle.read(16 * m)

@@ -8,14 +8,25 @@ and converted to simulated seconds by a
 :class:`~repro.pregel.cost_model.CostModel` (see that module for the
 formula), which is what makes single-process runs report meaningful
 distributed timings.
+
+Fault tolerance (see :mod:`repro.faults` and ``docs/simulator.md``):
+a cluster built with a :class:`~repro.faults.FaultPlan` injects node
+crashes, stragglers, and transit message faults; ``checkpoint_interval``
+enables Pregel-style super-step checkpointing so crashed runs recover
+by restoring the last checkpoint, reassigning the dead node's partition
+to the survivors, and replaying.  Recovery work is accounted separately
+(``RunStats.recovery_seconds`` / ``checkpoint_seconds``) so the
+committed work counters stay comparable to a fault-free run.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from array import array
 
 from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.pregel.cost_model import CostModel
@@ -214,6 +225,45 @@ class FinalizeContext:
             )
 
 
+class _Checkpoint:
+    """A consistent barrier snapshot: program state + pending messages."""
+
+    __slots__ = ("superstep", "program_state", "inbox", "agg_current", "bytes")
+
+    def __init__(self, superstep, program_state, inbox, agg_current, nbytes):
+        self.superstep = superstep
+        self.program_state = program_state
+        self.inbox = inbox
+        self.agg_current = agg_current
+        self.bytes = nbytes
+
+
+def _estimate_entries(obj) -> int:
+    """Rough entry count of a checkpointed state tree (for byte cost).
+
+    Counts leaf values inside the containers vertex programs actually
+    use; shared input graphs are excluded (they are not checkpointed —
+    every node re-reads its partition from the original input).
+    """
+    if isinstance(obj, DiGraph):
+        return 0
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 1
+    if isinstance(obj, array):
+        return len(obj)
+    if isinstance(obj, (bytes, bytearray, str)):
+        return max(1, len(obj) // 8)
+    if isinstance(obj, dict):
+        return sum(
+            _estimate_entries(k) + _estimate_entries(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_estimate_entries(item) for item in obj)
+    if isinstance(obj, VertexProgram):
+        return _estimate_entries(vars(obj))
+    return 1
+
+
 class Cluster:
     """A simulated cluster of ``num_nodes`` computation nodes.
 
@@ -227,6 +277,16 @@ class Cluster:
     partitioner:
         Vertex-to-node assignment; defaults to the paper's hash-by-id
         scheme.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into every
+        run of this cluster.  Crash events fire once per cluster
+        lifetime and dead nodes stay dead across chained runs (DRL_b's
+        batches), exactly as on real hardware.
+    checkpoint_interval:
+        Snapshot vertex state, pending messages, and aggregators every
+        this many super-steps, charging the serialization bytes through
+        the cost model.  Required for crash recovery to resume anywhere
+        other than super-step 0.
     """
 
     def __init__(
@@ -234,15 +294,24 @@ class Cluster:
         num_nodes: int = 32,
         cost_model: CostModel | None = None,
         partitioner: Partitioner | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint_interval: int | None = None,
     ):
         if num_nodes < 1:
             raise ValueError("num_nodes must be at least 1")
         if partitioner is not None and partitioner.num_nodes != num_nodes:
             raise ValueError("partitioner and cluster disagree on num_nodes")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
         self.num_nodes = num_nodes
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.partitioner = (
             partitioner if partitioner is not None else HashPartitioner(num_nodes)
+        )
+        self.faults = faults
+        self.checkpoint_interval = checkpoint_interval
+        self._injector = (
+            FaultInjector(faults, num_nodes) if faults is not None else None
         )
 
     def run(
@@ -260,10 +329,18 @@ class Cluster:
         covers the accumulated total.  ``trace=True`` records one
         :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
 
+        With a fault plan, crashed super-steps are discarded and
+        replayed from the last checkpoint; discarded attempts and
+        replays charge ``stats.recovery_seconds`` only, so the work
+        counters and trace rows describe committed progress exactly
+        once — identical to a fault-free run of the same program.
+
         When a telemetry session is active (see :mod:`repro.telemetry`),
         the whole run is wrapped in a ``pregel.run`` span and every
         super-step emits a ``pregel.superstep`` event carrying the
         :class:`SuperstepTrace` fields, independent of ``trace``.
+        Faults additionally emit ``pregel.fault``, ``pregel.recovery``,
+        and ``pregel.checkpoint`` events.
         """
         tracer = current_tracer()
         with tracer.span(
@@ -274,8 +351,17 @@ class Cluster:
             edges=graph.num_edges,
         ) as span:
             cost = self.cost_model
+            injector = self._injector
             node_of = array(
                 "q", (self.partitioner.node_of(v) for v in graph.vertices())
+            )
+            if injector is not None and injector.dead:
+                # Nodes lost in an earlier run of this cluster stay dead.
+                injector.reassign(node_of, ())
+            slowdown = (
+                self.faults.slowdowns(self.num_nodes)
+                if self.faults is not None and self.faults.stragglers
+                else None
             )
             if stats is None:
                 stats = RunStats(num_nodes=self.num_nodes)
@@ -291,8 +377,21 @@ class Cluster:
             }
             program.setup(ctx)
 
+            # Super-step 0 snapshot: recovery without an on-disk
+            # checkpoint restarts from re-initialized state, so this
+            # snapshot is free (bytes=0) — nothing crossed the network.
+            checkpoint: _Checkpoint | None = None
+            interval = self.checkpoint_interval
+            if interval is not None or (
+                injector is not None and injector.has_pending
+            ):
+                checkpoint = _Checkpoint(
+                    0, program.snapshot(), {}, dict(ctx._agg_current), 0
+                )
+
             inbox: dict[int, list] = {}
             superstep = 0
+            committed = 0
             while True:
                 superstep += 1
                 if superstep > max_supersteps:
@@ -313,8 +412,40 @@ class Cluster:
                         ctx._at_vertex(v)
                         ctx.charge(len(messages))
                         program.compute(ctx, v, messages)
-                self._close_superstep(ctx, stats, active, trace, tracer)
+                fired = (
+                    injector.crashes_at(superstep)
+                    if injector is not None
+                    else ()
+                )
+                if fired and checkpoint is not None:
+                    # The barrier never commits: the attempt is lost work.
+                    self._close_superstep(
+                        ctx, stats, active, False, tracer,
+                        slowdown=slowdown, replay=True, injector=injector,
+                    )
+                    inbox = self._recover(
+                        ctx, stats, checkpoint, injector, node_of,
+                        fired, superstep, program, tracer,
+                    )
+                    superstep = checkpoint.superstep
+                    cost.check_time(stats.simulated_seconds)
+                    continue
+                replay = superstep <= committed
+                self._close_superstep(
+                    ctx, stats, active, trace, tracer,
+                    slowdown=slowdown, replay=replay, injector=injector,
+                )
+                committed = max(committed, superstep)
                 program.on_barrier(superstep)
+                if (
+                    checkpoint is not None
+                    and interval is not None
+                    and superstep % interval == 0
+                    and superstep > checkpoint.superstep
+                ):
+                    checkpoint = self._take_checkpoint(
+                        superstep, program, ctx, stats, injector, tracer
+                    )
                 cost.check_time(stats.simulated_seconds)
                 inbox = ctx._next_inbox
                 if not inbox:
@@ -328,7 +459,13 @@ class Cluster:
             if any(finalize_units):
                 stats.supersteps += 1
                 stats.compute_units += sum(finalize_units)
-                stats.computation_seconds += max(finalize_units) * cost.t_op
+                if slowdown is None:
+                    stats.computation_seconds += max(finalize_units) * cost.t_op
+                else:
+                    stats.computation_seconds += (
+                        max(u * s for u, s in zip(finalize_units, slowdown))
+                        * cost.t_op
+                    )
                 stats.barrier_seconds += cost.t_barrier
                 for node, units in enumerate(finalize_units):
                     stats.per_node_units[node] += units
@@ -346,15 +483,55 @@ class Cluster:
         active: int,
         trace: bool = False,
         tracer=None,
+        slowdown: list[float] | None = None,
+        replay: bool = False,
+        injector: FaultInjector | None = None,
     ) -> None:
+        """Account one super-step's barrier.
+
+        ``replay=True`` marks a discarded attempt or a post-recovery
+        replay of an already-committed super-step: its full cost lands
+        in ``recovery_seconds`` and no work counter or trace row is
+        touched (the committed pass already recorded them).
+        """
         cost = self.cost_model
+        units = ctx._units
+        if slowdown is None:
+            comp_seconds = max(units) * cost.t_op
+        else:
+            comp_seconds = (
+                max(u * s for u, s in zip(units, slowdown)) * cost.t_op
+            )
+        comm_bytes = max(ctx._recv_bytes) + ctx._broadcast_bytes
+        lost = duplicated = 0
+        if injector is not None:
+            lost, duplicated = injector.transit_faults(ctx._remote_messages)
+            # Reliable transport repairs both: retransmissions put the
+            # same bytes on the wire again; delivery is unaffected.
+            comm_bytes += (lost + duplicated) * cost.message_bytes
+        comm_seconds = comm_bytes * cost.t_byte
         telemetry_on = tracer is not None and tracer.enabled
+        if telemetry_on and (lost or duplicated):
+            tracer.event(
+                "pregel.fault",
+                kind="transit",
+                superstep=ctx.superstep,
+                lost=lost,
+                duplicated=duplicated,
+            )
+        stats.messages_lost += lost
+        stats.messages_duplicated += duplicated
+        if replay:
+            stats.recovery_seconds += comp_seconds + comm_seconds + cost.t_barrier
+            ctx._local_messages = 0
+            ctx._remote_messages = 0
+            return
         if trace or telemetry_on:
             row = SuperstepTrace(
                 superstep=ctx.superstep,
                 active_vertices=active,
-                compute_units=sum(ctx._units),
-                max_node_units=max(ctx._units),
+                compute_units=sum(units),
+                max_node_units=max(units),
                 remote_messages=ctx._remote_messages,
                 remote_bytes=sum(ctx._recv_bytes),
                 broadcast_bytes=ctx._broadcast_bytes,
@@ -372,17 +549,107 @@ class Cluster:
                     "pregel.active_vertices", ACTIVE_VERTEX_BUCKETS
                 ).observe(active)
         stats.supersteps += 1
-        stats.compute_units += sum(ctx._units)
+        stats.compute_units += sum(units)
         stats.local_messages += ctx._local_messages
         stats.remote_messages += ctx._remote_messages
         stats.remote_bytes += sum(ctx._recv_bytes)
         stats.broadcast_bytes += ctx._broadcast_bytes
-        stats.computation_seconds += max(ctx._units) * cost.t_op
-        stats.communication_seconds += (
-            max(ctx._recv_bytes) + ctx._broadcast_bytes
-        ) * cost.t_byte
+        stats.computation_seconds += comp_seconds
+        stats.communication_seconds += comm_seconds
         stats.barrier_seconds += cost.t_barrier
-        for node, units in enumerate(ctx._units):
-            stats.per_node_units[node] += units
+        for node, node_units in enumerate(units):
+            stats.per_node_units[node] += node_units
         ctx._local_messages = 0
         ctx._remote_messages = 0
+
+    def _take_checkpoint(
+        self,
+        superstep: int,
+        program: VertexProgram,
+        ctx: ComputeContext,
+        stats: RunStats,
+        injector: FaultInjector | None,
+        tracer,
+    ) -> _Checkpoint:
+        """Snapshot barrier state and charge the serialization bytes."""
+        cost = self.cost_model
+        state = program.snapshot()
+        pending = ctx._next_inbox
+        messages = sum(len(bucket) for bucket in pending.values())
+        nbytes = (
+            _estimate_entries(state) * cost.entry_bytes
+            + messages * cost.message_bytes
+        )
+        alive = len(injector.survivors) if injector is not None else self.num_nodes
+        seconds = (nbytes / alive) * cost.t_checkpoint_byte
+        stats.checkpoints += 1
+        stats.checkpoint_seconds += seconds
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "pregel.checkpoint",
+                superstep=superstep,
+                bytes=nbytes,
+                pending_messages=messages,
+                seconds=seconds,
+            )
+            current_metrics().counter("pregel.checkpoints").inc()
+        return _Checkpoint(
+            superstep,
+            state,
+            copy.deepcopy(pending),
+            copy.deepcopy(ctx._agg_current),
+            nbytes,
+        )
+
+    def _recover(
+        self,
+        ctx: ComputeContext,
+        stats: RunStats,
+        checkpoint: _Checkpoint,
+        injector: FaultInjector,
+        node_of: array,
+        fired: tuple[int, ...],
+        superstep: int,
+        program: VertexProgram,
+        tracer,
+    ) -> dict[int, list]:
+        """Fail over after a crash: reassign, restore, return the inbox.
+
+        Charges failure detection plus the survivors' parallel read of
+        the last checkpoint (every surviving node re-reads the state of
+        its — possibly grown — partition from stable storage), then
+        rolls program, aggregator, and inbox state back to the
+        checkpointed barrier.
+        """
+        cost = self.cost_model
+        stats.crashes += len(fired)
+        moved = injector.reassign(node_of, fired)
+        alive = len(injector.survivors)
+        seconds = (
+            cost.failover_seconds
+            + (checkpoint.bytes / alive) * cost.t_checkpoint_byte
+        )
+        stats.recovery_seconds += seconds
+        program.restore(checkpoint.program_state)
+        ctx._agg_current = copy.deepcopy(checkpoint.agg_current)
+        ctx._agg_visible = {}
+        if tracer is not None and tracer.enabled:
+            for node in fired:
+                tracer.event(
+                    "pregel.fault",
+                    kind="crash",
+                    node=node,
+                    superstep=superstep,
+                )
+            tracer.event(
+                "pregel.recovery",
+                superstep=superstep,
+                restored_to=checkpoint.superstep,
+                nodes=list(fired),
+                reassigned_vertices=moved,
+                seconds=seconds,
+            )
+            metrics = current_metrics()
+            metrics.counter("pregel.crashes").inc(len(fired))
+            metrics.counter("pregel.recoveries").inc()
+        return copy.deepcopy(checkpoint.inbox)

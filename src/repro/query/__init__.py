@@ -11,6 +11,7 @@ how Table VI's query-time columns are produced in spirit.
 from repro.query.service import (
     BflBackend,
     DistributedIndexBackend,
+    FallbackBackend,
     GrailBackend,
     IndexBackend,
     OnlineBackend,
@@ -21,6 +22,7 @@ from repro.query.service import (
 __all__ = [
     "BflBackend",
     "DistributedIndexBackend",
+    "FallbackBackend",
     "GrailBackend",
     "IndexBackend",
     "OnlineBackend",

@@ -116,6 +116,67 @@ class DistributedIndexBackend:
         return index.query(s, t), seconds
 
 
+class FallbackBackend:
+    """Serve from the index when it exists, fall back to BFS otherwise.
+
+    Degraded-mode serving for a cluster whose index build died (crash
+    without checkpointing, out-of-memory, cut-off): queries keep being
+    answered — via :class:`OnlineBackend` traversal of the raw graph —
+    just slower.  Every fallback-served query increments the
+    ``query.fallback`` counter so operators can see the degradation.
+
+    Use :meth:`from_build` to construct one directly from a build
+    attempt: a successful build serves from the index, a build that
+    raised a :class:`~repro.errors.ReproError` serves from the graph.
+    """
+
+    def __init__(
+        self,
+        primary: "QueryBackend | None",
+        graph: DiGraph,
+        cost_model: CostModel | None = None,
+    ):
+        self._primary = primary
+        self._fallback = OnlineBackend(graph, cost_model)
+        self.fallback_queries = 0
+
+    @classmethod
+    def from_build(
+        cls,
+        graph: DiGraph,
+        builder,
+        cost_model: CostModel | None = None,
+    ) -> "FallbackBackend":
+        """Run ``builder()`` (returning an index-bearing result or a
+        bare index) and wrap whatever survives.
+
+        Build failures signalled by a :class:`~repro.errors.ReproError`
+        (time limit, memory, super-step limit) degrade to online BFS;
+        other exceptions are bugs and propagate.
+        """
+        from repro.errors import ReproError
+
+        try:
+            built = builder()
+        except ReproError:
+            return cls(None, graph, cost_model)
+        index = getattr(built, "index", built)
+        return cls(IndexBackend(index, cost_model), graph, cost_model)
+
+    @property
+    def degraded(self) -> bool:
+        """True when serving BFS fallbacks instead of the index."""
+        return self._primary is None
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        if self._primary is not None:
+            return self._primary.query_with_cost(s, t)
+        self.fallback_queries += 1
+        if enabled():
+            current_metrics().counter("query.fallback").inc()
+        return self._fallback.query_with_cost(s, t)
+
+
 @dataclass(frozen=True)
 class QueryReport:
     """Latency statistics for one evaluated workload."""

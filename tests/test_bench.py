@@ -134,3 +134,39 @@ def test_timeout_markers_appear_under_tight_cutoff():
     model = paper_scale_model(time_limit_seconds=1e-9)
     table = run_fig5_comm_comp(dataset_names=["GO"], cost_model=model)
     assert table.get("GO", "DRL comp").marker == "INF"
+
+
+def test_atomic_write_text(tmp_path):
+    from repro.bench.results import atomic_write_text
+
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "first\n")
+    assert path.read_text() == "first\n"
+    atomic_write_text(path, "second\n")  # overwrite is atomic too
+    assert path.read_text() == "second\n"
+    # No temp droppings left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_capture_tables_collects_created_tables():
+    from repro.bench.results import ExperimentTable, capture_tables
+
+    with capture_tables() as captured:
+        table = ExperimentTable("T", ["c"])
+        table.set("r", "c", 1.0)
+    assert captured == [table]
+    # Outside the block, new tables are no longer captured.
+    ExperimentTable("other", ["c"])
+    assert len(captured) == 1
+
+
+def test_run_fault_recovery_table():
+    from repro.bench import run_fault_recovery
+
+    table = run_fault_recovery(dataset_names=("GO",), num_nodes=8)
+    assert table.rows == ["GO"]
+    assert table.get("GO", "identical").value == 1.0
+    assert table.get("GO", "recovery s").value > 0.0
+    assert (
+        table.get("GO", "faulty s").value > table.get("GO", "clean s").value
+    )

@@ -224,3 +224,106 @@ def test_trace_rejects_non_jsonl(tmp_path, capsys):
     bad.write_text("this is not json\n")
     assert main(["trace", str(bad)]) == 2
     assert "not JSON" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Fault injection flags and ReproError exit codes
+# ----------------------------------------------------------------------
+def test_build_with_faults_identical_index(tmp_path, graph_file):
+    clean = tmp_path / "clean.idx"
+    faulty = tmp_path / "faulty.idx"
+    assert main(["build", str(graph_file), "-o", str(clean),
+                 "--method", "drl-b", "--nodes", "8"]) == 0
+    assert main(["build", str(graph_file), "-o", str(faulty),
+                 "--method", "drl-b", "--nodes", "8",
+                 "--faults", "crash=1@3,straggler=2x2.0,loss=0.01,seed=42",
+                 "--checkpoint-interval", "2"]) == 0
+    # The save format is deterministic, so identical indexes mean
+    # byte-identical files.
+    assert clean.read_bytes() == faulty.read_bytes()
+
+
+def test_build_reports_fault_summary(tmp_path, graph_file, capsys):
+    out = tmp_path / "f.idx"
+    assert main(["build", str(graph_file), "-o", str(out), "--nodes", "8",
+                 "--faults", "crash=1@3", "--checkpoint-interval", "2"]) == 0
+    assert "crash(es)" in capsys.readouterr().out
+
+
+def test_build_bad_fault_spec_exits_2(tmp_path, graph_file, capsys):
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "x.idx"),
+                 "--faults", "crash=nope"]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_build_fault_plan_out_of_range_exits_2(tmp_path, graph_file, capsys):
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "x.idx"),
+                 "--nodes", "4", "--faults", "crash=9@2"]) == 2
+    assert "only 4 nodes" in capsys.readouterr().err
+
+
+def test_build_faults_rejected_for_serial_tol(tmp_path, graph_file, capsys):
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "x.idx"),
+                 "--method", "tol", "--faults", "crash=1@2"]) == 2
+    assert "serial" in capsys.readouterr().err
+
+
+def test_build_bad_checkpoint_interval_exits_2(tmp_path, graph_file, capsys):
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "x.idx"),
+                 "--checkpoint-interval", "0"]) == 2
+    assert "at least 1" in capsys.readouterr().err
+
+
+def test_build_time_limit_exceeded_exits_2(tmp_path, graph_file, capsys):
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "x.idx"),
+                 "--time-limit", "1e-12"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "cut-off" in err
+
+
+def test_build_out_of_memory_exits_2(tmp_path, graph_file, capsys, monkeypatch):
+    from repro.errors import OutOfMemoryError
+
+    def exploding(*args, **kwargs):
+        raise OutOfMemoryError(2**40, 2**30, "test build")
+
+    monkeypatch.setattr("repro.cli.build_index", exploding)
+    assert main(["build", str(graph_file),
+                 "-o", str(tmp_path / "x.idx")]) == 2
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_build_superstep_limit_exits_2(tmp_path, graph_file, capsys, monkeypatch):
+    from repro.pregel.engine import SuperstepLimitExceeded
+
+    def looping(*args, **kwargs):
+        raise SuperstepLimitExceeded("no termination after 7 supersteps")
+
+    monkeypatch.setattr("repro.cli.build_index", looping)
+    assert main(["build", str(graph_file),
+                 "-o", str(tmp_path / "x.idx")]) == 2
+    assert "supersteps" in capsys.readouterr().err
+
+
+def test_bench_faults_experiment(capsys):
+    assert main(["bench", "faults", "--datasets", "GO"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery s" in out and "identical" in out
+    row = next(l for l in out.splitlines() if l.startswith("GO"))
+    assert row.rstrip().endswith("1.000000")
+
+
+def test_bench_interrupt_flushes_partial_results(capsys, monkeypatch):
+    from repro.bench.results import ExperimentTable
+
+    def interrupted(dataset_names=None, cost_model=None):
+        table = ExperimentTable("Partial fig8", ["b=2"])
+        table.set("GO", "b=2", 0.125)
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.bench.harness.run_fig8_batch_size", interrupted)
+    assert main(["bench", "fig8"]) == 130
+    captured = capsys.readouterr()
+    assert "partial results" in captured.err
+    assert "Partial fig8" in captured.out
+    assert "0.1250" in captured.out

@@ -212,3 +212,26 @@ def test_stats_summary_renders():
     text = stats.summary()
     assert "simulated" in text
     assert "2 nodes" in text
+
+
+def test_superstep_limit_partial_stats_consistent():
+    """A tripped limit still leaves coherent partial accounting."""
+    g = _path_graph(4)
+    stats = RunStats(num_nodes=2)
+    stats.per_node_units = [0, 0]
+    cluster = Cluster(num_nodes=2, cost_model=CostModel(time_limit_seconds=None))
+    with pytest.raises(SuperstepLimitExceeded):
+        cluster.run(g, NeverTerminates(), max_supersteps=7, stats=stats,
+                    trace=True)
+    # Exactly the 7 allowed supersteps were accounted; the 8th aborted
+    # before any accounting.
+    assert stats.supersteps == 7
+    assert len(stats.trace) == 7
+    assert [row.superstep for row in stats.trace] == list(range(1, 8))
+    assert stats.compute_units == sum(row.compute_units for row in stats.trace)
+    assert stats.remote_messages == sum(
+        row.remote_messages for row in stats.trace
+    )
+    assert sum(stats.per_node_units) == stats.compute_units
+    assert stats.barrier_seconds == pytest.approx(7 * cluster.cost_model.t_barrier)
+    assert stats.simulated_seconds > 0.0

@@ -1,0 +1,339 @@
+"""Tests for fault injection, checkpointing, and crash recovery."""
+
+import pytest
+
+from repro.baselines.bfl_distributed import build_bfl_distributed
+from repro.core.drl import drl_index
+from repro.core.drl_basic import drl_basic_index
+from repro.core.drl_batch import drl_batch_index
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpecError,
+    NodeCrash,
+    Straggler,
+)
+from repro.graph.generators import random_dag, random_digraph
+from repro.graph.order import degree_order
+from repro.pregel.cost_model import CostModel
+from repro.pregel.engine import Cluster
+from repro.telemetry import session
+from repro.telemetry.sinks import InMemorySink
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+_BUILDERS = {
+    "drl": drl_index,
+    "drl-": drl_basic_index,
+    "drl-b": drl_batch_index,
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_digraph(150, 500, seed=3)
+
+
+@pytest.fixture(scope="module")
+def order(graph):
+    return degree_order(graph)
+
+
+def _crash_plan(**overrides):
+    defaults = dict(crashes=(NodeCrash(1, 3),), seed=7)
+    defaults.update(overrides)
+    return FaultPlan(**defaults)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: construction, validation, parsing
+# ----------------------------------------------------------------------
+def test_plan_validation():
+    with pytest.raises(ValueError, match="superstep"):
+        NodeCrash(0, 0)
+    with pytest.raises(ValueError, match="non-negative"):
+        NodeCrash(-1, 1)
+    with pytest.raises(ValueError, match=">= 1"):
+        Straggler(0, 0.5)
+    with pytest.raises(ValueError, match="loss_rate"):
+        FaultPlan(loss_rate=1.0)
+    with pytest.raises(ValueError, match="more than once"):
+        FaultPlan(crashes=(NodeCrash(2, 1), NodeCrash(2, 5)))
+
+
+def test_plan_validate_for_cluster():
+    plan = _crash_plan(crashes=(NodeCrash(9, 3),))
+    with pytest.raises(ValueError, match="only 4 nodes"):
+        plan.validate_for(4)
+    every = FaultPlan(crashes=tuple(NodeCrash(n, n + 1) for n in range(3)))
+    with pytest.raises(ValueError, match="survivor"):
+        every.validate_for(3)
+    _crash_plan().validate_for(4)  # fine
+
+
+def test_plan_parse():
+    plan = FaultPlan.parse("crash=3@5,straggler=2x4.0,loss=0.01,dup=0.02,seed=42")
+    assert plan.crashes == (NodeCrash(3, 5),)
+    assert plan.stragglers == (Straggler(2, 4.0),)
+    assert plan.loss_rate == 0.01
+    assert plan.duplication_rate == 0.02
+    assert plan.seed == 42
+    assert "crash node 3" in plan.describe()
+    assert FaultPlan.parse("").describe() == "no faults"
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash=oops",
+        "crash=1",
+        "straggler=1",
+        "straggler=1x0.2",
+        "loss=2.0",
+        "frobnicate=1",
+        "crash",
+        "crash=1@2,crash=1@9",
+    ],
+)
+def test_plan_parse_rejects(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector mechanics
+# ----------------------------------------------------------------------
+def test_injector_crash_fires_once():
+    injector = FaultInjector(_crash_plan(), num_nodes=4)
+    assert injector.has_pending
+    assert injector.crashes_at(2) == ()
+    assert injector.crashes_at(3) == (1,)
+    assert injector.dead == {1}
+    assert not injector.has_pending
+    assert injector.crashes_at(3) == ()  # consumed, never re-fires
+    assert injector.survivors == [0, 2, 3]
+
+
+def test_injector_reassign_moves_dead_vertices():
+    from array import array
+
+    injector = FaultInjector(_crash_plan(), num_nodes=4)
+    injector.crashes_at(3)
+    node_of = array("q", [v % 4 for v in range(20)])
+    moved = injector.reassign(node_of, (1,))
+    assert moved == 5
+    assert all(node_of[v] != 1 for v in range(20))
+
+
+def test_injector_transit_deterministic():
+    plan = FaultPlan(loss_rate=0.3, duplication_rate=0.2, seed=11)
+    draws = [FaultInjector(plan, 4).transit_faults(500) for _ in range(2)]
+    assert draws[0] == draws[1]
+    assert draws[0][0] > 0 and draws[0][1] > 0
+    assert FaultInjector(plan, 4).transit_faults(0) == (0, 0)
+    clean = FaultPlan()
+    assert FaultInjector(clean, 4).transit_faults(500) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# The invariant: faults never change the index
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", sorted(_BUILDERS))
+def test_crash_recovery_produces_identical_index(graph, order, method):
+    build = _BUILDERS[method]
+    clean = build(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    plan = _crash_plan(
+        stragglers=(Straggler(0, 2.0),), loss_rate=0.01, duplication_rate=0.01
+    )
+    faulty = build(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=plan, checkpoint_interval=2,
+    )
+    assert faulty.index == clean.index
+    assert faulty.stats.crashes == 1
+    assert faulty.stats.checkpoints > 0
+    assert faulty.stats.recovery_seconds > 0.0
+    assert faulty.stats.checkpoint_seconds > 0.0
+    # Work counters describe committed progress: same as fault-free.
+    assert faulty.stats.supersteps == clean.stats.supersteps
+    assert faulty.stats.compute_units == clean.stats.compute_units
+    assert faulty.stats.simulated_seconds > clean.stats.simulated_seconds
+
+
+def test_crash_without_checkpointing_restarts_from_scratch(graph, order):
+    clean = drl_index(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    faulty = drl_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=_crash_plan(crashes=(NodeCrash(1, 4),)),
+    )
+    assert faulty.index == clean.index
+    assert faulty.stats.checkpoints == 0
+    assert faulty.stats.crashes == 1
+    # Replaying supersteps 1-4 costs more than the aborted attempt alone.
+    assert faulty.stats.recovery_seconds > _NO_LIMIT.failover_seconds
+    assert faulty.stats.supersteps == clean.stats.supersteps
+
+
+def test_crash_past_termination_never_fires(graph, order):
+    clean = drl_index(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    faulty = drl_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=_crash_plan(crashes=(NodeCrash(1, 10_000),)),
+        checkpoint_interval=3,
+    )
+    assert faulty.index == clean.index
+    assert faulty.stats.crashes == 0
+    assert faulty.stats.recovery_seconds == 0.0
+
+
+def test_same_plan_same_stats_across_runs(graph, order):
+    plan = _crash_plan(loss_rate=0.05, duplication_rate=0.02)
+    results = [
+        drl_batch_index(
+            graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+            faults=plan, checkpoint_interval=2,
+        )
+        for _ in range(2)
+    ]
+    first, second = (r.stats for r in results)
+    assert results[0].index == results[1].index
+    assert first.simulated_seconds == second.simulated_seconds
+    assert first.recovery_seconds == second.recovery_seconds
+    assert first.checkpoint_seconds == second.checkpoint_seconds
+    assert first.messages_lost == second.messages_lost
+    assert first.messages_duplicated == second.messages_duplicated
+    assert first.compute_units == second.compute_units
+
+
+def test_straggler_stretches_computation_only(graph, order):
+    clean = drl_index(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    slow = drl_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=FaultPlan(stragglers=(Straggler(2, 8.0),)),
+    )
+    assert slow.index == clean.index
+    assert slow.stats.compute_units == clean.stats.compute_units
+    assert slow.stats.computation_seconds > clean.stats.computation_seconds
+    assert slow.stats.communication_seconds == clean.stats.communication_seconds
+    assert slow.stats.crashes == 0 and slow.stats.recovery_seconds == 0.0
+
+
+def test_transit_faults_charge_but_do_not_drop(graph, order):
+    clean = drl_index(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    lossy = drl_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=FaultPlan(loss_rate=0.05, duplication_rate=0.05, seed=9),
+    )
+    assert lossy.index == clean.index
+    assert lossy.stats.messages_lost > 0
+    assert lossy.stats.messages_duplicated > 0
+    assert (
+        lossy.stats.communication_seconds > clean.stats.communication_seconds
+    )
+    # Delivery is repaired by retransmission: same committed messages.
+    assert lossy.stats.remote_messages == clean.stats.remote_messages
+
+
+def test_dead_node_stays_dead_across_chained_runs(graph, order):
+    # DRL_b chains one engine run per batch over the SAME cluster: the
+    # node crashed in an early batch must do no work in later ones.
+    plan = _crash_plan(crashes=(NodeCrash(2, 2),))
+    faulty = drl_batch_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=plan, checkpoint_interval=2,
+    )
+    clean = drl_batch_index(graph, order, num_nodes=4, cost_model=_NO_LIMIT)
+    assert faulty.index == clean.index
+    assert faulty.stats.crashes == 1
+    # The dead node accumulated strictly less work than fault-free.
+    assert faulty.stats.per_node_units[2] < clean.stats.per_node_units[2]
+
+
+def test_cluster_rejects_bad_fault_config():
+    with pytest.raises(ValueError, match="checkpoint_interval"):
+        Cluster(num_nodes=4, checkpoint_interval=0)
+    with pytest.raises(ValueError, match="only 4 nodes"):
+        Cluster(num_nodes=4, faults=_crash_plan(crashes=(NodeCrash(7, 2),)))
+
+
+def test_runstats_summary_mentions_faults(graph, order):
+    faulty = drl_index(
+        graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=_crash_plan(), checkpoint_interval=2,
+    )
+    text = faulty.stats.summary()
+    assert "1 crash(es)" in text and "recovery" in text
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+def test_fault_telemetry_events(graph, order):
+    sink = InMemorySink()
+    with session([sink]):
+        drl_index(
+            graph, order, num_nodes=4, cost_model=_NO_LIMIT,
+            faults=_crash_plan(loss_rate=0.05), checkpoint_interval=2,
+        )
+    by_name = {}
+    for event in sink.events:
+        by_name.setdefault(event.name, []).append(event)
+    crash_events = [
+        e for e in by_name.get("pregel.fault", [])
+        if e.attrs["kind"] == "crash"
+    ]
+    transit_events = [
+        e for e in by_name.get("pregel.fault", [])
+        if e.attrs["kind"] == "transit"
+    ]
+    assert len(crash_events) == 1 and crash_events[0].attrs["node"] == 1
+    assert transit_events, "expected transit fault events"
+    recoveries = by_name.get("pregel.recovery", [])
+    assert len(recoveries) == 1
+    assert recoveries[0].attrs["restored_to"] == 2
+    assert recoveries[0].attrs["seconds"] > 0
+    assert recoveries[0].attrs["reassigned_vertices"] > 0
+    checkpoints = by_name.get("pregel.checkpoint", [])
+    assert checkpoints and all(
+        e.attrs["superstep"] % 2 == 0 for e in checkpoints
+    )
+
+
+# ----------------------------------------------------------------------
+# BFL^D analytic model
+# ----------------------------------------------------------------------
+def test_bfl_distributed_fault_model(graph):
+    _, clean = build_bfl_distributed(graph, num_nodes=4, cost_model=_NO_LIMIT)
+    plan = FaultPlan(
+        crashes=(NodeCrash(1, 50),),
+        stragglers=(Straggler(0, 2.0),),
+        loss_rate=0.01,
+        seed=5,
+    )
+    index, faulty = build_bfl_distributed(
+        graph, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=plan, checkpoint_interval=40,
+    )
+    _, faulty2 = build_bfl_distributed(
+        graph, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=plan, checkpoint_interval=40,
+    )
+    assert faulty.crashes == 1
+    assert faulty.recovery_seconds > 0.0
+    assert faulty.checkpoints > 0 and faulty.checkpoint_seconds > 0.0
+    assert faulty.messages_lost > 0
+    assert faulty.computation_seconds > clean.computation_seconds
+    assert faulty.simulated_seconds > clean.simulated_seconds
+    assert faulty.simulated_seconds == faulty2.simulated_seconds
+    # Same labels as the fault-free build.
+    _, _ = index.query_with_cost(0, 1)  # still answers queries
+
+
+def test_bfl_distributed_crash_past_walk_never_fires(graph):
+    _, clean = build_bfl_distributed(graph, num_nodes=4, cost_model=_NO_LIMIT)
+    _, faulty = build_bfl_distributed(
+        graph, num_nodes=4, cost_model=_NO_LIMIT,
+        faults=FaultPlan(crashes=(NodeCrash(1, 10**9),)),
+    )
+    assert faulty.crashes == 0
+    assert faulty.simulated_seconds == clean.simulated_seconds

@@ -106,3 +106,27 @@ def test_binary_bad_version(tmp_path):
     path.write_bytes(b"RPRO" + struct.pack("<IQQ", 99, 0, 0))
     with pytest.raises(ValueError, match="version"):
         read_binary(path)
+
+
+def test_binary_truncated_header(tmp_path):
+    path = tmp_path / "header.bin"
+    path.write_bytes(b"RPRO" + b"\x00" * 7)  # header cut short
+    with pytest.raises(ValueError, match="truncated header"):
+        read_binary(path)
+
+
+def test_binary_errors_carry_path(tmp_path):
+    path = tmp_path / "ctx.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 20)
+    with pytest.raises(ValueError, match=str(path)):
+        read_binary(path)
+
+
+def test_edge_list_errors_carry_path_and_line(tmp_path):
+    path = tmp_path / "ctx.txt"
+    path.write_text("0 1\n# comment\nbroken\n")
+    with pytest.raises(ValueError, match=f"{path}:3:"):
+        list(iter_edge_list(path))
+    path.write_text("0 1\n1 2\n\nx y\n")
+    with pytest.raises(ValueError, match=f"{path}:4:.*non-integer"):
+        list(iter_edge_list(path))

@@ -89,3 +89,67 @@ def test_empty_workload():
 
     service = QueryService(OnlineBackend(DiGraph(2, []), _NO_LIMIT))
     assert service.evaluate([]).count == 0
+
+
+# ----------------------------------------------------------------------
+# FallbackBackend: degraded serving after a failed build
+# ----------------------------------------------------------------------
+def test_fallback_backend_degrades_to_online(graph, oracle, pairs):
+    from repro.core.drl import drl_index
+    from repro.query import FallbackBackend
+
+    doomed = CostModel(time_limit_seconds=1e-12)
+    backend = FallbackBackend.from_build(
+        graph,
+        lambda: drl_index(graph, num_nodes=4, cost_model=doomed),
+        cost_model=_NO_LIMIT,
+    )
+    assert backend.degraded
+    service = QueryService(backend)
+    for s, t in pairs[:100]:
+        assert service.query(s, t) == oracle.query(s, t), (s, t)
+    assert backend.fallback_queries == 100
+
+
+def test_fallback_backend_prefers_index(graph, oracle, pairs):
+    from repro.core.drl import drl_index
+    from repro.query import FallbackBackend
+
+    backend = FallbackBackend.from_build(
+        graph,
+        lambda: drl_index(graph, num_nodes=4, cost_model=_NO_LIMIT),
+        cost_model=_NO_LIMIT,
+    )
+    assert not backend.degraded
+    service = QueryService(backend)
+    for s, t in pairs[:100]:
+        assert service.query(s, t) == oracle.query(s, t), (s, t)
+    assert backend.fallback_queries == 0
+
+
+def test_fallback_backend_counts_metric(graph):
+    from repro.query import FallbackBackend
+    from repro.telemetry import session
+    from repro.telemetry.sinks import InMemorySink
+
+    backend = FallbackBackend(None, graph, _NO_LIMIT)
+    sink = InMemorySink()
+    with session([sink]):
+        QueryService(backend).query(0, 1)
+    counters = {
+        r["name"]: r["value"]
+        for r in sink.metrics
+        if r.get("metric") == "counter"
+    }
+    assert counters.get("query.fallback") == 1
+    assert counters.get("query.count") == 1
+
+
+def test_fallback_backend_propagates_real_bugs(graph):
+    from repro.query import FallbackBackend
+
+    def broken():
+        raise RuntimeError("not a simulated-resource failure")
+
+    with pytest.raises(RuntimeError):
+        FallbackBackend.from_build(graph, broken)
