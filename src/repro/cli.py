@@ -7,8 +7,12 @@ Commands
 - ``build`` — build a reachability index from an edge list.
 - ``query`` — answer reachability queries from a saved index.
 - ``info`` — describe a saved index.
-- ``bench`` — run one paper experiment and print its table(s).
+- ``bench`` — run one paper experiment and print its table(s); with
+  ``--save-baseline`` / ``--check-baseline`` it doubles as the perf
+  regression gate (see ``benchmarks/baselines/``).
 - ``trace`` — summarize a JSONL telemetry trace.
+- ``profile`` — skew/straggler analysis of a JSONL trace, with
+  optional Chrome-trace (Perfetto) and flamegraph export.
 
 ``build``, ``query``, and ``bench`` accept ``--trace-out PATH`` (export
 spans/events/metrics as JSONL) and ``--verbose`` (mirror telemetry to
@@ -129,6 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["table6", "fig5", "fig6", "fig7", "fig8", "fig9", "faults"],
     )
     bench.add_argument("--datasets", nargs="*", default=None)
+    bench.add_argument(
+        "--save-baseline", nargs="?", const="", default=None, metavar="PATH",
+        help="save the results as the regression baseline "
+        "(default PATH: benchmarks/baselines/EXPERIMENT.json)",
+    )
+    bench.add_argument(
+        "--check-baseline", nargs="?", const="", default=None, metavar="PATH",
+        help="compare the results against a saved baseline and exit "
+        "non-zero on regression",
+    )
+    bench.add_argument(
+        "--baseline-threshold", type=float, default=None, metavar="FRACTION",
+        help="relative deviation tolerated by --check-baseline "
+        "(default 0.1 = 10%%)",
+    )
 
     trace = sub.add_parser(
         "trace", help="summarize a JSONL telemetry trace"
@@ -141,6 +160,25 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--supersteps", type=int, default=20,
         help="super-step rows to show (default 20)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="skew/straggler analysis of a JSONL telemetry trace",
+    )
+    profile.add_argument("file", type=Path)
+    profile.add_argument(
+        "--top", type=int, default=15,
+        help="span names to show in the ranking (default 15)",
+    )
+    profile.add_argument(
+        "--chrome-trace", type=Path, default=None, metavar="PATH",
+        help="also export a Chrome trace-event JSON (load in Perfetto "
+        "or chrome://tracing)",
+    )
+    profile.add_argument(
+        "--flamegraph", type=Path, default=None, metavar="PATH",
+        help="also export folded stacks for flamegraph tooling",
     )
     return parser
 
@@ -421,22 +459,102 @@ def _cmd_bench(args) -> int:
     for table in tables:
         print(table.render())
         print()
-    return 0
+    exit_code = 0
+    if args.check_baseline is not None or args.save_baseline is not None:
+        from repro.bench.baseline import (
+            DEFAULT_THRESHOLD,
+            compare_to_baseline,
+            default_baseline_path,
+            load_baseline,
+            save_baseline,
+        )
+
+        if args.check_baseline is not None:
+            path = (
+                Path(args.check_baseline)
+                if args.check_baseline
+                else default_baseline_path(args.experiment)
+            )
+            threshold = (
+                args.baseline_threshold
+                if args.baseline_threshold is not None
+                else DEFAULT_THRESHOLD
+            )
+            comparison = compare_to_baseline(
+                load_baseline(path), list(tables), threshold=threshold
+            )
+            print(comparison.render())
+            if not comparison.ok:
+                exit_code = 1
+        if args.save_baseline is not None:
+            path = (
+                Path(args.save_baseline)
+                if args.save_baseline
+                else default_baseline_path(args.experiment)
+            )
+            saved = save_baseline(args.experiment, list(tables), path)
+            print(f"baseline saved to {saved}", file=sys.stderr)
+    return exit_code
+
+
+def _read_trace_tolerantly(path: Path):
+    """Shared trace loading for ``trace``/``profile``: returns
+    ``(records, exit_code)`` where records is ``None`` on a hard error.
+
+    Malformed lines are reported to stderr as counted warnings and turn
+    the eventual exit code into 1 (the summary still prints), matching
+    ``query --pairs``.
+    """
+    from repro.telemetry.report import TraceReadError, read_trace
+
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return None, 2
+    try:
+        records = read_trace(path)
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+    for reason in records.skipped[:5]:
+        print(f"warning: {reason}; skipped", file=sys.stderr)
+    if records.skipped:
+        print(
+            f"warning: skipped {len(records.skipped)} malformed line(s)",
+            file=sys.stderr,
+        )
+        return records, 1
+    return records, 0
 
 
 def _cmd_trace(args) -> int:
-    from repro.telemetry.report import TraceReadError, read_trace, summarize_trace
+    from repro.telemetry.report import summarize_trace
 
-    if not args.file.exists():
-        print(f"error: no such file: {args.file}", file=sys.stderr)
-        return 2
-    try:
-        records = read_trace(args.file)
-    except TraceReadError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    records, exit_code = _read_trace_tolerantly(args.file)
+    if records is None:
+        return exit_code
     print(summarize_trace(records, top=args.top, superstep_limit=args.supersteps))
-    return 0
+    return exit_code
+
+
+def _cmd_profile(args) -> int:
+    from repro.profiling import (
+        profile_report,
+        write_chrome_trace,
+        write_folded_stacks,
+    )
+
+    records, exit_code = _read_trace_tolerantly(args.file)
+    if records is None:
+        return exit_code
+    # Export before printing: a closed stdout pipe must not lose the files.
+    if args.chrome_trace is not None:
+        write_chrome_trace(records, args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace}", file=sys.stderr)
+    if args.flamegraph is not None:
+        write_folded_stacks(records, args.flamegraph)
+        print(f"folded stacks written to {args.flamegraph}", file=sys.stderr)
+    print(profile_report(records, top=args.top))
+    return exit_code
 
 
 _HANDLERS = {
@@ -449,6 +567,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

@@ -272,13 +272,16 @@ def drl_index(
     combine_messages: bool = False,
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
+    node_timeline: bool = False,
 ) -> LabelingResult:
     """Build the TOL index with DRL (Algorithm 3) on a simulated cluster.
 
     Returns the index together with the run's cost accounting.  With a
     ``faults`` plan (see :mod:`repro.faults`) the build rides out the
     injected failures and still produces the identical index; recovery
-    overhead lands in the returned stats.
+    overhead lands in the returned stats.  ``node_timeline=True``
+    records the per-node breakdown into ``stats.node_timeline`` (see
+    :mod:`repro.profiling`).
     """
     if order is None:
         order = degree_order(graph)
@@ -299,7 +302,7 @@ def drl_index(
         "drl.build", vertices=graph.num_vertices, num_nodes=num_nodes
     ) as span:
         with trace_span("drl.flood") as flood:
-            stats = cluster.run(graph, program)
+            stats = cluster.run(graph, program, node_timeline=node_timeline)
             flood.add_simulated(stats.simulated_seconds)
         with trace_span("drl.collection"):
             index = ReachabilityIndex.from_label_lists(

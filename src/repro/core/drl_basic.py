@@ -167,6 +167,7 @@ def drl_basic_index(
     partitioner: Partitioner | None = None,
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
+    node_timeline: bool = False,
 ) -> LabelingResult:
     """Build the TOL index with DRL⁻ (Theorem 3) on a simulated cluster.
 
@@ -193,12 +194,12 @@ def drl_basic_index(
     ) as span:
         filtering = _TrimmedFloodProgram(graph, order)
         with trace_span("drl-.filtering") as phase:
-            cluster.run(graph, filtering, stats=stats)
+            cluster.run(graph, filtering, stats=stats, node_timeline=node_timeline)
             phase.add_simulated(stats.simulated_seconds)
         refinement = _DescendantFloodProgram(filtering, graph)
         with trace_span("drl-.refinement") as phase:
             before = stats.simulated_seconds
-            cluster.run(graph, refinement, stats=stats)
+            cluster.run(graph, refinement, stats=stats, node_timeline=node_timeline)
             phase.add_simulated(stats.simulated_seconds - before)
         with trace_span("drl-.collection"):
             index = ReachabilityIndex.from_label_lists(

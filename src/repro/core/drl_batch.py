@@ -44,6 +44,7 @@ def drl_batch_index(
     batches: list[list[int]] | None = None,
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
+    node_timeline: bool = False,
 ) -> LabelingResult:
     """Build the TOL index with DRL_b on a simulated cluster.
 
@@ -63,6 +64,10 @@ def drl_batch_index(
         All batch runs share one cluster, so each crash event fires at
         most once across the whole build and a node lost in batch ``i``
         stays dead for batches ``i+1, ...``.
+    node_timeline:
+        Record the per-node breakdown of every batch into
+        ``stats.node_timeline`` (see :mod:`repro.profiling`); batches
+        append to one timeline, so super-step numbers restart per batch.
     """
     if order is None:
         order = degree_order(graph)
@@ -101,7 +106,7 @@ def drl_batch_index(
                 "drl_b.batch", batch=number, sources=len(batch)
             ) as batch_span:
                 before = stats.simulated_seconds
-                cluster.run(graph, program, stats=stats)
+                cluster.run(graph, program, stats=stats, node_timeline=node_timeline)
                 # Fold the surviving visits into the accumulated label sets
                 # (Alg. 4 line 14: they become the next batch's L^{V_{i+1}}).
                 for w in range(n):

@@ -30,7 +30,13 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.pregel.cost_model import CostModel
-from repro.pregel.metrics import RunStats, SuperstepTrace
+from repro.pregel.metrics import (
+    NodeSlice,
+    NodeTimeline,
+    RunStats,
+    SuperstepTrace,
+    TimelineInterval,
+)
 from repro.pregel.vertex_program import VertexProgram
 from repro.telemetry import ACTIVE_VERTEX_BUCKETS, current_metrics, current_tracer
 
@@ -321,6 +327,7 @@ class Cluster:
         max_supersteps: int = 100_000,
         stats: RunStats | None = None,
         trace: bool = False,
+        node_timeline: bool = False,
     ) -> RunStats:
         """Execute ``program`` on ``graph`` until no messages remain.
 
@@ -328,6 +335,13 @@ class Cluster:
         chain the batches of DRL_b into one run) and the time-limit check
         covers the accumulated total.  ``trace=True`` records one
         :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
+
+        ``node_timeline=True`` additionally records one
+        :class:`~repro.pregel.metrics.NodeSlice` per node per committed
+        super-step (plus recovery/replay/checkpoint intervals) into
+        ``stats.node_timeline`` — the input of
+        :func:`repro.profiling.analyze_skew`.  Off by default: the flag
+        costs nothing when disabled and no telemetry session is active.
 
         With a fault plan, crashed super-steps are discarded and
         replayed from the last checkpoint; discarded attempts and
@@ -338,9 +352,11 @@ class Cluster:
         When a telemetry session is active (see :mod:`repro.telemetry`),
         the whole run is wrapped in a ``pregel.run`` span and every
         super-step emits a ``pregel.superstep`` event carrying the
-        :class:`SuperstepTrace` fields, independent of ``trace``.
-        Faults additionally emit ``pregel.fault``, ``pregel.recovery``,
-        and ``pregel.checkpoint`` events.
+        :class:`SuperstepTrace` fields plus one ``pregel.node`` event
+        per node carrying the :class:`NodeSlice` fields, independent of
+        ``trace``/``node_timeline``.  Faults additionally emit
+        ``pregel.fault``, ``pregel.recovery``, and ``pregel.checkpoint``
+        events.
         """
         tracer = current_tracer()
         with tracer.span(
@@ -366,6 +382,8 @@ class Cluster:
             if stats is None:
                 stats = RunStats(num_nodes=self.num_nodes)
                 stats.per_node_units = [0] * self.num_nodes
+            if node_timeline and stats.node_timeline is None:
+                stats.node_timeline = NodeTimeline(num_nodes=self.num_nodes)
             wall_start = time.perf_counter()
             simulated_start = stats.simulated_seconds
 
@@ -460,15 +478,38 @@ class Cluster:
                 stats.supersteps += 1
                 stats.compute_units += sum(finalize_units)
                 if slowdown is None:
-                    stats.computation_seconds += max(finalize_units) * cost.t_op
+                    finalize_seconds = max(finalize_units) * cost.t_op
                 else:
-                    stats.computation_seconds += (
+                    finalize_seconds = (
                         max(u * s for u, s in zip(finalize_units, slowdown))
                         * cost.t_op
                     )
+                stats.computation_seconds += finalize_seconds
                 stats.barrier_seconds += cost.t_barrier
                 for node, units in enumerate(finalize_units):
                     stats.per_node_units[node] += units
+                timeline = stats.node_timeline
+                if timeline is not None or tracer.enabled:
+                    for node in range(self.num_nodes):
+                        factor = 1.0 if slowdown is None else slowdown[node]
+                        node_comp = finalize_units[node] * factor * cost.t_op
+                        piece = NodeSlice(
+                            superstep=superstep + 1,
+                            node=node,
+                            units=finalize_units[node],
+                            compute_seconds=node_comp,
+                            comm_seconds=0.0,
+                            barrier_wait_seconds=max(
+                                0.0, finalize_seconds - node_comp
+                            ),
+                            barrier_seconds=cost.t_barrier,
+                            recv_bytes=0,
+                            slowdown=factor,
+                        )
+                        if timeline is not None:
+                            timeline.slices.append(piece)
+                        if tracer.enabled:
+                            tracer.event("pregel.node", **piece.to_dict())
             cost.check_time(stats.simulated_seconds)
             stats.wall_seconds += time.perf_counter() - wall_start
             if tracer.enabled:
@@ -521,11 +562,46 @@ class Cluster:
             )
         stats.messages_lost += lost
         stats.messages_duplicated += duplicated
+        timeline = stats.node_timeline
         if replay:
-            stats.recovery_seconds += comp_seconds + comm_seconds + cost.t_barrier
+            seconds = comp_seconds + comm_seconds + cost.t_barrier
+            stats.recovery_seconds += seconds
+            if timeline is not None:
+                timeline.intervals.append(
+                    TimelineInterval("replay", ctx.superstep, seconds)
+                )
             ctx._local_messages = 0
             ctx._remote_messages = 0
             return
+        if timeline is not None or telemetry_on:
+            # Per-node breakdown.  BSP phases run in sequence, so a
+            # node's barrier wait is the slack against the slowest node
+            # in each phase; retransmission cost (charged to the
+            # super-step as a whole) lands in the wait term too.
+            recv = ctx._recv_bytes
+            bcast_bytes = ctx._broadcast_bytes
+            for node in range(self.num_nodes):
+                factor = 1.0 if slowdown is None else slowdown[node]
+                node_comp = units[node] * factor * cost.t_op
+                node_comm = (recv[node] + bcast_bytes) * cost.t_byte
+                piece = NodeSlice(
+                    superstep=ctx.superstep,
+                    node=node,
+                    units=units[node],
+                    compute_seconds=node_comp,
+                    comm_seconds=node_comm,
+                    barrier_wait_seconds=max(
+                        0.0,
+                        (comp_seconds - node_comp) + (comm_seconds - node_comm),
+                    ),
+                    barrier_seconds=cost.t_barrier,
+                    recv_bytes=recv[node],
+                    slowdown=factor,
+                )
+                if timeline is not None:
+                    timeline.slices.append(piece)
+                if telemetry_on:
+                    tracer.event("pregel.node", **piece.to_dict())
         if trace or telemetry_on:
             row = SuperstepTrace(
                 superstep=ctx.superstep,
@@ -584,6 +660,10 @@ class Cluster:
         seconds = (nbytes / alive) * cost.t_checkpoint_byte
         stats.checkpoints += 1
         stats.checkpoint_seconds += seconds
+        if stats.node_timeline is not None:
+            stats.node_timeline.intervals.append(
+                TimelineInterval("checkpoint", superstep, seconds)
+            )
         if tracer is not None and tracer.enabled:
             tracer.event(
                 "pregel.checkpoint",
@@ -630,6 +710,10 @@ class Cluster:
             + (checkpoint.bytes / alive) * cost.t_checkpoint_byte
         )
         stats.recovery_seconds += seconds
+        if stats.node_timeline is not None:
+            stats.node_timeline.intervals.append(
+                TimelineInterval("recovery", superstep, seconds, tuple(fired))
+            )
         program.restore(checkpoint.program_state)
         ctx._agg_current = copy.deepcopy(checkpoint.agg_current)
         ctx._agg_visible = {}

@@ -6,6 +6,136 @@ from dataclasses import asdict, dataclass, field
 
 
 @dataclass(frozen=True)
+class NodeSlice:
+    """One node's share of one super-step (collected when the per-node
+    timeline is on).
+
+    BSP phases are sequential — compute, then communicate, then the
+    barrier — so every node's slice spans the same interval and the
+    identity ``compute + comm + barrier_wait + barrier`` is constant
+    across the nodes of a super-step.  ``barrier_wait_seconds`` is the
+    idle time spent waiting for slower nodes in both phases (plus any
+    retransmission cost charged to the super-step as a whole), which is
+    what the skew analyzer attributes to stragglers and hot partitions.
+    """
+
+    superstep: int
+    node: int
+    units: int
+    compute_seconds: float
+    comm_seconds: float
+    barrier_wait_seconds: float
+    barrier_seconds: float
+    recv_bytes: int
+    slowdown: float = 1.0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Time this node actually worked (compute + communication)."""
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall span of the super-step on this node (same for all nodes)."""
+        return (
+            self.compute_seconds
+            + self.comm_seconds
+            + self.barrier_wait_seconds
+            + self.barrier_seconds
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (``pregel.node`` telemetry event payload)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class TimelineInterval:
+    """A non-super-step interval on the cluster timeline.
+
+    ``kind`` is ``"recovery"`` (post-crash failover + checkpoint
+    restore), ``"replay"`` (a discarded or re-executed super-step
+    attempt), or ``"checkpoint"`` (a periodic snapshot write).
+    """
+
+    kind: str
+    superstep: int
+    seconds: float
+    nodes: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class NodeTimeline:
+    """Per-node, per-super-step timeline of one (possibly chained) run.
+
+    ``slices`` hold one :class:`NodeSlice` per node per committed
+    super-step, in execution order; ``intervals`` hold the fault
+    machinery's cost (recovery, replay, checkpointing).  Chained runs
+    (DRL_b's batches) append to the same timeline, so super-step numbers
+    restart; :meth:`supersteps` groups slices by execution occurrence,
+    not by number.
+    """
+
+    num_nodes: int
+    slices: list[NodeSlice] = field(default_factory=list)
+    intervals: list[TimelineInterval] = field(default_factory=list)
+
+    def supersteps(self) -> list[list[NodeSlice]]:
+        """Slices grouped per super-step occurrence, execution order."""
+        groups: list[list[NodeSlice]] = []
+        current: list[NodeSlice] = []
+        for piece in self.slices:
+            if current and piece.node <= current[-1].node:
+                groups.append(current)
+                current = []
+            current.append(piece)
+        if current:
+            groups.append(current)
+        return groups
+
+    def node_totals(self) -> list[dict]:
+        """Aggregate per-node totals across the whole timeline.
+
+        One dict per node: ``units``, ``compute_seconds``,
+        ``comm_seconds``, ``barrier_wait_seconds``, ``barrier_seconds``,
+        ``busy_seconds``, ``total_seconds``.
+        """
+        totals = [
+            {
+                "node": node,
+                "units": 0,
+                "compute_seconds": 0.0,
+                "comm_seconds": 0.0,
+                "barrier_wait_seconds": 0.0,
+                "barrier_seconds": 0.0,
+                "busy_seconds": 0.0,
+                "total_seconds": 0.0,
+            }
+            for node in range(self.num_nodes)
+        ]
+        for piece in self.slices:
+            entry = totals[piece.node]
+            entry["units"] += piece.units
+            entry["compute_seconds"] += piece.compute_seconds
+            entry["comm_seconds"] += piece.comm_seconds
+            entry["barrier_wait_seconds"] += piece.barrier_wait_seconds
+            entry["barrier_seconds"] += piece.barrier_seconds
+            entry["busy_seconds"] += piece.busy_seconds
+            entry["total_seconds"] += piece.total_seconds
+        return totals
+
+    def extend(self, other: "NodeTimeline") -> None:
+        """Append another timeline's slices and intervals (phase order)."""
+        if other.num_nodes > self.num_nodes:
+            self.num_nodes = other.num_nodes
+        self.slices.extend(other.slices)
+        self.intervals.extend(other.intervals)
+
+
+@dataclass(frozen=True)
 class SuperstepTrace:
     """Per-super-step accounting row (collected when tracing is on)."""
 
@@ -37,6 +167,12 @@ class RunStats:
     checkpoint replay, failover detection, checkpoint restore I/O — is
     isolated in ``recovery_seconds``; periodic checkpoint writes land in
     ``checkpoint_seconds``.  Both are part of ``simulated_seconds``.
+
+    ``node_timeline`` is the opt-in per-node breakdown (see
+    :class:`NodeTimeline`): every committed super-step contributes one
+    :class:`NodeSlice` per node, and the fault machinery contributes
+    recovery/replay/checkpoint intervals.  Populated when the engine
+    runs with ``node_timeline=True``; ``None`` otherwise.
     """
 
     num_nodes: int = 1
@@ -58,6 +194,7 @@ class RunStats:
     per_node_units: list[int] = field(default_factory=list)
     wall_seconds: float = 0.0
     trace: list[SuperstepTrace] = field(default_factory=list)
+    node_timeline: NodeTimeline | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -116,6 +253,10 @@ class RunStats:
         for node, units in enumerate(other.per_node_units):
             self.per_node_units[node] += units
         self.trace.extend(other.trace)
+        if other.node_timeline is not None:
+            if self.node_timeline is None:
+                self.node_timeline = NodeTimeline(num_nodes=self.num_nodes)
+            self.node_timeline.extend(other.node_timeline)
         return self
 
     def summary(self) -> str:

@@ -1,0 +1,52 @@
+"""``repro.profiling`` — analysis on top of :mod:`repro.telemetry`.
+
+The telemetry layer records what happened (spans, events, metrics);
+this package answers *why a run was slow*:
+
+- :mod:`~repro.profiling.skew` — per-node load attribution: rebuilds a
+  :class:`~repro.pregel.metrics.NodeTimeline` from exported
+  ``pregel.node`` events and computes imbalance metrics (max/mean load
+  ratio, Gini coefficient, barrier-wait share), names straggler and
+  hot-partition nodes, and estimates the speedup from perfect
+  rebalancing;
+- :mod:`~repro.profiling.export` — standard-format exporters: Chrome
+  trace-event JSON (one "process" per simulated node; load it in
+  Perfetto or ``chrome://tracing``) and folded stacks for flamegraphs;
+- :mod:`~repro.profiling.report` — the ``repro profile`` text report
+  (skew + top spans + critical path).
+
+Everything here is derived from an existing ``--trace-out`` JSONL file
+or a live :class:`~repro.pregel.metrics.RunStats.node_timeline`; no
+instrumentation of its own.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.export import (
+    chrome_trace,
+    folded_stacks,
+    write_chrome_trace,
+    write_folded_stacks,
+)
+from repro.profiling.report import critical_path, profile_report
+from repro.profiling.skew import (
+    NodeLoad,
+    SkewReport,
+    SuperstepSkew,
+    analyze_skew,
+    timeline_from_records,
+)
+
+__all__ = [
+    "NodeLoad",
+    "SkewReport",
+    "SuperstepSkew",
+    "analyze_skew",
+    "chrome_trace",
+    "critical_path",
+    "folded_stacks",
+    "profile_report",
+    "timeline_from_records",
+    "write_chrome_trace",
+    "write_folded_stacks",
+]

@@ -1,0 +1,83 @@
+"""The ``repro profile`` text report.
+
+Combines the skew analysis, the per-phase top-spans table, and a
+critical-path summary into one report over an exported JSONL trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.profiling.skew import analyze_skew, timeline_from_records
+from repro.telemetry.report import top_spans_section
+
+
+def critical_path(records: list[dict]) -> list[tuple[str, float]]:
+    """The heaviest root-to-leaf span chain by simulated seconds.
+
+    Follows, from the heaviest root span, the heaviest child at every
+    level; returns ``(name, simulated_seconds)`` pairs from root to
+    leaf.  Empty when the trace has no spans.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    if not spans:
+        return []
+    children: dict[int | None, list[dict]] = defaultdict(list)
+    ids = {record["id"] for record in spans}
+    for record in spans:
+        parent = record.get("parent")
+        children[parent if parent in ids else None].append(record)
+
+    def heaviest(candidates: list[dict]) -> dict:
+        return max(candidates, key=lambda r: r.get("simulated_seconds", 0.0))
+
+    path = []
+    seen: set[int] = set()
+    current = heaviest(children[None])
+    while True:
+        path.append((current["name"], current.get("simulated_seconds", 0.0)))
+        seen.add(current["id"])
+        below = [r for r in children[current["id"]] if r["id"] not in seen]
+        if not below:
+            return path
+        current = heaviest(below)
+
+
+def profile_report(records: list[dict], top: int = 15) -> str:
+    """The full text report printed by ``repro profile``.
+
+    Sections: record counts, the skew report (when the trace carries
+    ``pregel.node`` events), the top-spans table, and the critical
+    path.  Traces exported before per-node telemetry still profile —
+    they just lose the skew section.
+    """
+    spans = sum(1 for r in records if r.get("kind") == "span")
+    events = sum(1 for r in records if r.get("kind") == "event")
+    node_events = sum(
+        1
+        for r in records
+        if r.get("kind") == "event" and r.get("name") == "pregel.node"
+    )
+    sections = [
+        f"{len(records)} records: {spans} spans, {events} events "
+        f"({node_events} per-node)"
+    ]
+    timeline = timeline_from_records(records)
+    if timeline is not None:
+        sections.append(analyze_skew(timeline).render())
+    else:
+        sections.append(
+            "no pregel.node events in this trace — re-export with a "
+            "telemetry session active to get the skew report"
+        )
+    if spans:
+        sections.append(top_spans_section(records, top=top))
+        chain = critical_path(records)
+        total = max((seconds for _, seconds in chain), default=0.0)
+        title = "Critical path (simulated s)"
+        lines = [title, "=" * len(title)]
+        for depth, (name, seconds) in enumerate(chain):
+            share = f" ({seconds / total:.0%} of run)" if total else ""
+            lines.append(f"{'  ' * depth}{name}: {seconds:.6f}s{share}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -39,6 +39,37 @@ LATENCY_BUCKETS = exponential_buckets(1e-8, 10 ** 0.5, 16)
 ACTIVE_VERTEX_BUCKETS = exponential_buckets(1, 4, 16)
 
 
+def bucket_percentile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    maximum: float | None,
+    fraction: float,
+) -> float:
+    """Estimate a percentile from fixed-bucket data.
+
+    The single implementation behind :meth:`Histogram.percentile` (live
+    instruments) and :func:`percentile_from_record` (exported JSONL
+    records): returns the upper bound of the bucket holding the target
+    rank, clamped to the observed maximum (the overflow bucket, which
+    has no upper bound, reports the maximum itself).
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    if not count:
+        return 0.0
+    rank = max(1, round(fraction * count))
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if i < len(buckets):
+                bound = buckets[i]
+                return min(bound, maximum) if maximum is not None else bound
+            break
+    return maximum if maximum is not None else 0.0
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -59,13 +90,18 @@ class Counter:
 
 
 class Gauge:
-    """A value that can move both ways (e.g. label entries so far)."""
+    """A value that can move both ways (e.g. label entries so far).
+
+    Values keep the type they were set with: an int-valued gauge
+    exports as an int, so ``to_record`` round-trips through JSONL
+    without float-coercion diffs (``120`` vs ``120.0``).
+    """
 
     __slots__ = ("name", "value")
 
     def __init__(self, name: str):
         self.name = name
-        self.value = 0.0
+        self.value: float = 0
 
     def set(self, value: float) -> None:
         self.value = value
@@ -114,19 +150,9 @@ class Histogram:
     def percentile(self, fraction: float) -> float:
         """Estimated percentile: the upper bound of the bucket holding
         the target rank (the exact max for the overflow bucket)."""
-        if not 0 <= fraction <= 1:
-            raise ValueError("fraction must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = max(1, round(fraction * self.count))
-        cumulative = 0
-        for i, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= rank:
-                if i < len(self.buckets):
-                    return min(self.buckets[i], self.max or self.buckets[i])
-                return self.max if self.max is not None else 0.0
-        return self.max if self.max is not None else 0.0
+        return bucket_percentile(
+            self.buckets, self.counts, self.count, self.max, fraction
+        )
 
     def to_record(self) -> dict:
         return {
@@ -179,15 +205,18 @@ class MetricsRegistry:
 
     def as_dict(self) -> dict[str, float]:
         """Flat ``{name: value}`` view; histograms expand to
-        ``name.count`` / ``name.mean`` / ``name.p50|p95|p99`` / ``name.max``."""
+        ``name.count`` / ``name.sum`` / ``name.mean`` /
+        ``name.p50|p95|p99`` / ``name.min`` / ``name.max``."""
         flat: dict[str, float] = {}
         for name, instrument in self._instruments.items():
             if isinstance(instrument, Histogram):
                 flat[f"{name}.count"] = instrument.count
+                flat[f"{name}.sum"] = instrument.total
                 flat[f"{name}.mean"] = instrument.mean
                 flat[f"{name}.p50"] = instrument.percentile(0.50)
                 flat[f"{name}.p95"] = instrument.percentile(0.95)
                 flat[f"{name}.p99"] = instrument.percentile(0.99)
+                flat[f"{name}.min"] = instrument.min or 0.0
                 flat[f"{name}.max"] = instrument.max or 0.0
             else:
                 flat[name] = instrument.value
@@ -211,15 +240,6 @@ def percentile_from_record(record: dict, fraction: float) -> float:
     count = record.get("count", 0)
     if not count:
         return 0.0
-    buckets = record["buckets"]
-    counts = record["counts"]
-    maximum = record.get("max") or 0.0
-    rank = max(1, round(fraction * count))
-    cumulative = 0
-    for i, bucket_count in enumerate(counts):
-        cumulative += bucket_count
-        if cumulative >= rank:
-            if i < len(buckets):
-                return min(buckets[i], maximum or buckets[i])
-            return maximum
-    return maximum
+    return bucket_percentile(
+        record["buckets"], record["counts"], count, record.get("max"), fraction
+    )

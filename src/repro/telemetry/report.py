@@ -27,9 +27,31 @@ class TraceReadError(ValueError):
     """The trace file is missing or not valid JSONL."""
 
 
-def read_trace(path: str | Path) -> list[dict]:
-    """Load every record of a JSONL trace file."""
-    records = []
+class TraceRecords(list):
+    """The records of a trace file plus a log of skipped lines.
+
+    A plain ``list`` of record dicts, so every existing consumer works
+    unchanged; ``skipped`` holds one ``"path:lineno: reason"`` string
+    per malformed line that was tolerated (truncated tails, partial
+    writes from a killed run, stray text).
+    """
+
+    def __init__(self, records=(), skipped: list[str] | None = None):
+        super().__init__(records)
+        self.skipped: list[str] = skipped if skipped is not None else []
+
+
+def read_trace(path: str | Path) -> TraceRecords:
+    """Load the records of a JSONL trace file, tolerating bad lines.
+
+    Malformed lines (invalid JSON, or JSON that is not a trace record)
+    are skipped and logged in the returned :class:`TraceRecords`'
+    ``skipped`` list — a truncated export from a killed run still
+    summarizes.  Raises :class:`TraceReadError` only when the file
+    contains no valid record at all, which means it is not a trace
+    file (or an empty one) rather than a damaged one.
+    """
+    records = TraceRecords()
     with Path(path).open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
@@ -38,10 +60,18 @@ def read_trace(path: str | Path) -> list[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise TraceReadError(f"{path}:{lineno}: not JSON: {exc}") from exc
+                records.skipped.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
             if not isinstance(record, dict) or "kind" not in record:
-                raise TraceReadError(f"{path}:{lineno}: not a trace record")
+                records.skipped.append(f"{path}:{lineno}: not a trace record")
+                continue
             records.append(record)
+    if not records and records.skipped:
+        raise TraceReadError(
+            f"{path}: no valid trace records "
+            f"({len(records.skipped)} malformed line(s); first: "
+            f"{records.skipped[0]})"
+        )
     return records
 
 

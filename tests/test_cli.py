@@ -226,6 +226,173 @@ def test_trace_rejects_non_jsonl(tmp_path, capsys):
     assert "not JSON" in capsys.readouterr().err
 
 
+def test_trace_tolerates_truncated_export(tmp_path, graph_file, capsys):
+    """A trace cut off mid-write still summarizes; exit 1 + warning."""
+    trace_file = tmp_path / "build.jsonl"
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "g.idx"),
+                 "--nodes", "4", "--trace-out", str(trace_file)]) == 0
+    capsys.readouterr()
+    data = trace_file.read_bytes()
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_bytes(data[: len(data) - 30])
+    assert main(["trace", str(truncated)]) == 1
+    captured = capsys.readouterr()
+    assert "Top spans by simulated time" in captured.out
+    assert "skipped 1 malformed line(s)" in captured.err
+
+
+# ----------------------------------------------------------------------
+# The profile subcommand
+# ----------------------------------------------------------------------
+@pytest.fixture
+def straggler_trace(tmp_path, graph_file):
+    """A DRL_b build trace with node 2 slowed 4x."""
+    trace_file = tmp_path / "straggler.jsonl"
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "s.idx"),
+                 "--method", "drl-b", "--nodes", "4",
+                 "--faults", "straggler=2x4.0",
+                 "--trace-out", str(trace_file)]) == 0
+    return trace_file
+
+
+def test_profile_names_straggler_and_wait_share(straggler_trace, capsys):
+    """The issue's acceptance check: node 2 is the dominant straggler
+    and the healthy nodes report non-zero barrier-wait share."""
+    assert main(["profile", str(straggler_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Skew report" in out
+    assert "stragglers: node 2 (4.0x)" in out
+    rows = {
+        int(line.split("|")[0]): line
+        for line in out.splitlines()
+        if line.strip().startswith(("0 ", "1 ", "2 ", "3 "))
+        and line.count("|") >= 7
+    }
+    for node in (0, 1, 3):
+        wait_share = float(rows[node].split("|")[6].strip().rstrip("%"))
+        assert wait_share > 0
+    assert "Critical path" in out
+    assert "Top spans by simulated time" in out
+
+
+def test_profile_clean_run_is_near_balanced(tmp_path, graph_file, capsys):
+    trace_file = tmp_path / "clean.jsonl"
+    assert main(["build", str(graph_file), "-o", str(tmp_path / "c.idx"),
+                 "--method", "drl-b", "--nodes", "4",
+                 "--trace-out", str(trace_file)]) == 0
+    capsys.readouterr()
+    assert main(["profile", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "near-balanced" in out
+    assert "stragglers:" not in out
+
+
+def test_profile_exports_chrome_trace_and_flamegraph(
+    straggler_trace, tmp_path, capsys
+):
+    import json
+
+    chrome = tmp_path / "chrome.json"
+    folded = tmp_path / "stacks.folded"
+    assert main(["profile", str(straggler_trace),
+                 "--chrome-trace", str(chrome),
+                 "--flamegraph", str(folded)]) == 0
+    capsys.readouterr()
+    doc = json.loads(chrome.read_text())
+    process_names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    for node in range(4):
+        assert f"node {node} (simulated)" in process_names
+    stacks = folded.read_text().splitlines()
+    assert stacks
+    for line in stacks:
+        path, value = line.rsplit(" ", 1)
+        assert ";" in path and int(value) > 0
+
+
+def test_profile_missing_file(tmp_path, capsys):
+    assert main(["profile", str(tmp_path / "none.jsonl")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_profile_trace_without_node_events(tmp_path, capsys):
+    trace = tmp_path / "spanonly.jsonl"
+    trace.write_text(
+        '{"kind":"span","name":"a","id":1,"parent":null,"start":0.0,'
+        '"wall_seconds":0.1,"simulated_seconds":0.5,"status":"ok","attrs":{}}\n'
+    )
+    assert main(["profile", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "no pregel.node events" in out
+    assert "Top spans by simulated time" in out
+
+
+# ----------------------------------------------------------------------
+# The bench baseline gate
+# ----------------------------------------------------------------------
+def test_bench_save_then_check_baseline_roundtrip(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "fig8.json"
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--save-baseline", str(baseline)]) == 0
+    assert "baseline saved" in capsys.readouterr().err
+    doc = json.loads(baseline.read_text())
+    assert doc["experiment"] == "fig8" and doc["metrics"]
+    # Unchanged tree: the deterministic simulator reproduces exactly.
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--check-baseline", str(baseline)]) == 0
+    assert "0 failure(s)" in capsys.readouterr().out
+
+
+def test_bench_check_baseline_fails_on_perturbation(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "fig8.json"
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--save-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    doc = json.loads(baseline.read_text())
+    key = sorted(k for k, v in doc["metrics"].items()
+                 if isinstance(v, float))[0]
+    doc["metrics"][key] *= 2.0
+    baseline.write_text(json.dumps(doc))
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--check-baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert f"FAIL {key}" in out
+    assert "improved" in out  # halved relative to the doubled baseline
+
+
+def test_bench_check_baseline_threshold_flag(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "fig8.json"
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--save-baseline", str(baseline)]) == 0
+    doc = json.loads(baseline.read_text())
+    key = sorted(k for k, v in doc["metrics"].items()
+                 if isinstance(v, float))[0]
+    doc["metrics"][key] *= 1.05  # 5% off: fails at 1%, passes at 10%
+    baseline.write_text(json.dumps(doc))
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--check-baseline", str(baseline),
+                 "--baseline-threshold", "0.01"]) == 1
+    capsys.readouterr()
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--check-baseline", str(baseline),
+                 "--baseline-threshold", "0.10"]) == 0
+
+
+def test_bench_check_missing_baseline_exits_2(tmp_path, capsys):
+    assert main(["bench", "fig8", "--datasets", "GO",
+                 "--check-baseline", str(tmp_path / "none.json")]) == 2
+    assert "--save-baseline" in capsys.readouterr().err
+
+
 # ----------------------------------------------------------------------
 # Fault injection flags and ReproError exit codes
 # ----------------------------------------------------------------------

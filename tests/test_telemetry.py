@@ -222,6 +222,95 @@ def test_exponential_buckets_validation():
         exponential_buckets(0, 2, 3)
     with pytest.raises(ValueError):
         exponential_buckets(1, 1, 3)
+    with pytest.raises(ValueError):
+        exponential_buckets(1, 2, 0)
+    with pytest.raises(ValueError):
+        exponential_buckets(-1, 2, 3)
+
+
+def test_gauge_int_values_roundtrip_without_float_coercion():
+    """An int-valued gauge exports as an int: 120, not 120.0 — so
+    JSONL diffs of repeated runs stay byte-identical."""
+    registry = MetricsRegistry()
+    gauge = registry.gauge("entries")
+    gauge.set(120)
+    record = gauge.to_record()
+    assert record["value"] == 120
+    assert isinstance(record["value"], int)
+    assert json.loads(json.dumps(record)) == record
+    assert "120.0" not in json.dumps(record)
+    gauge.add(5)
+    assert isinstance(gauge.to_record()["value"], int)
+    # Float-valued gauges still behave as before.
+    gauge.set(2.5)
+    assert isinstance(gauge.to_record()["value"], float)
+
+
+def test_percentile_paths_agree_on_random_data():
+    """Property-style check: the live histogram and its exported record
+    estimate identical percentiles, across shapes and fractions."""
+    import random
+
+    for seed in range(10):
+        rng = random.Random(seed)
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h", buckets=exponential_buckets(1e-8, 10 ** 0.5, 12)
+        )
+        for _ in range(rng.randrange(1, 200)):
+            hist.observe(10 ** rng.uniform(-9, 0))
+        record = json.loads(json.dumps(hist.to_record()))
+        for fraction in (0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert percentile_from_record(record, fraction) == pytest.approx(
+                hist.percentile(fraction)
+            ), (seed, fraction)
+
+
+def test_histogram_overflow_bucket_percentiles():
+    """Every rank above the last bound reports the exact observed max."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1.0, 2.0))
+    for value in (5.0, 7.0, 11.0):  # all overflow
+        hist.observe(value)
+    assert hist.percentile(0.5) == 11.0
+    assert hist.percentile(1.0) == 11.0
+    assert percentile_from_record(hist.to_record(), 0.5) == 11.0
+
+
+def test_histogram_single_observation_min_equals_max():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1.0, 10.0))
+    hist.observe(3.0)
+    assert hist.min == hist.max == 3.0
+    assert hist.mean == 3.0
+    # The single rank lands in the 10.0 bucket; the estimate is clamped
+    # to the observed maximum.
+    assert hist.percentile(0.5) == 3.0
+    assert hist.percentile(1.0) == 3.0
+
+
+def test_registry_as_dict_expands_sum_and_min():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(4.5)
+    flat = registry.as_dict()
+    assert flat["lat.sum"] == pytest.approx(5.0)
+    assert flat["lat.min"] == 0.5
+    assert flat["lat.max"] == 4.5
+    assert flat["lat.count"] == 2
+
+
+def test_active_vertex_buckets_cover_seed_datasets():
+    """The engine's active-vertex histogram must not overflow on any
+    stand-in dataset: super-step 1 observes every vertex at once."""
+    from repro.telemetry import ACTIVE_VERTEX_BUCKETS
+    from repro.workloads.datasets import DATASETS
+
+    top = ACTIVE_VERTEX_BUCKETS[-1]
+    for spec in DATASETS.values():
+        if spec.medium:
+            assert spec.load().num_vertices <= top, spec.name
 
 
 # ----------------------------------------------------------------------

@@ -33,14 +33,41 @@ def test_read_trace_roundtrip(tmp_path):
     assert [r["kind"] for r in records] == ["event", "span"]
 
 
-def test_read_trace_rejects_garbage(tmp_path):
+def test_read_trace_skips_garbage_lines(tmp_path):
+    """Malformed lines are tolerated and counted, not fatal."""
     bad = tmp_path / "bad.jsonl"
-    bad.write_text('{"kind":"span","name":"x"}\nnot json\n')
+    bad.write_text('{"kind":"span","name":"x"}\nnot json\n{"no_kind": true}\n')
+    records = read_trace(bad)
+    assert [r["name"] for r in records] == ["x"]
+    assert len(records.skipped) == 2
+    assert "bad.jsonl:2" in records.skipped[0]
+    assert "bad.jsonl:3" in records.skipped[1]
+
+
+def test_read_trace_rejects_file_with_no_valid_records(tmp_path):
+    """All-garbage means 'not a trace file', which is still an error."""
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('not json\n{"no_kind": true}\n')
     with pytest.raises(TraceReadError):
         read_trace(bad)
-    bad.write_text('{"no_kind": true}\n')
-    with pytest.raises(TraceReadError):
-        read_trace(bad)
+
+
+def test_read_trace_truncated_export_still_summarizes(tmp_path):
+    """A trace cut off mid-line (killed run) loses only the tail."""
+    def body():
+        with trace_span("a") as span:
+            span.add_simulated(1.0)
+        with trace_span("b") as span:
+            span.add_simulated(2.0)
+
+    path = _write_trace(tmp_path, body)
+    full = path.read_bytes()
+    truncated = tmp_path / "truncated.jsonl"
+    truncated.write_bytes(full[: len(full) - 25])
+    records = read_trace(truncated)
+    assert len(records.skipped) == 1
+    assert len(records) >= 1
+    assert "Top spans by simulated time" in summarize_trace(records)
 
 
 def test_top_spans_ranked_by_simulated_time(tmp_path):
