@@ -34,7 +34,7 @@ def _run() -> ExperimentTable:
         n = graph.num_vertices
 
         start = time.perf_counter()
-        tol_index(dynamic.current_graph(), dynamic._order)
+        tol_index(dynamic.current_graph(), dynamic.order)
         rebuild_ms = (time.perf_counter() - start) * 1e3
 
         inserted = []

@@ -1,0 +1,54 @@
+"""Micro-benchmarks for the differential fuzzing harness.
+
+Real wall-clock throughput of the fuzz pipeline: case generation, the
+full oracle matrix on one case, and shrinking an injected failure.
+These bound how many cases a fixed `--time-budget` campaign can afford,
+so a regression here directly shrinks nightly coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.cases import generate_cases
+from repro.fuzz.oracles import ORACLES, run_case
+from repro.fuzz.shrink import shrink_case
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return generate_cases(seed=42, count=50)
+
+
+def test_bench_case_generation(benchmark):
+    result = benchmark(generate_cases, seed=7, count=100)
+    assert len(result) == 100
+
+
+def test_bench_oracle_matrix_single_case(benchmark, cases):
+    # A mid-stream case: non-trivial graph, typical config.
+    result = benchmark(run_case, cases[20])
+    assert result.ok
+
+
+def test_bench_oracle_matrix_batch(benchmark, cases):
+    def campaign():
+        return [run_case(c) for c in cases[:25]]
+
+    results = benchmark(campaign)
+    assert all(r.ok for r in results)
+
+
+def test_bench_shrink_injected_failure(benchmark, cases):
+    # A stub oracle with a clean vertex threshold exercises the ddmin
+    # loop without depending on a real bug.
+    def stub(ctx):
+        n = ctx.graph.num_vertices
+        return [f"{n} vertices"] if n >= 5 else []
+
+    oracles = dict(ORACLES)
+    oracles["cover"] = stub
+    case = next(c for c in cases if c.num_vertices >= 10)
+
+    reduction = benchmark(shrink_case, case, oracles=oracles)
+    assert reduction.case.num_vertices == 5

@@ -10,6 +10,9 @@ Commands
 - ``bench`` — run one paper experiment and print its table(s); with
   ``--save-baseline`` / ``--check-baseline`` it doubles as the perf
   regression gate (see ``benchmarks/baselines/``).
+- ``fuzz`` — differential fuzzing of the index builders against the
+  oracle matrix, with failure shrinking and ``--replay`` of saved
+  repros (see ``docs/paper_mapping.md``, "Fuzzing oracles").
 - ``trace`` — summarize a JSONL telemetry trace.
 - ``profile`` — skew/straggler analysis of a JSONL trace, with
   optional Chrome-trace (Perfetto) and flamegraph export.
@@ -32,6 +35,7 @@ from repro.core.build import METHOD_NAMES, build_index
 from repro.core.labels import ReachabilityIndex
 from repro.errors import ReproError
 from repro.faults import FaultPlan
+from repro.fuzz.cases import FAMILIES as FUZZ_FAMILIES
 from repro.graph import generators
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.pregel.cost_model import CostModel, paper_scale_model
@@ -147,6 +151,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline-threshold", type=float, default=None, metavar="FRACTION",
         help="relative deviation tolerated by --check-baseline "
         "(default 0.1 = 10%%)",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the index builders",
+        description="Run seeded cases (graph families × configurations) "
+        "through the oracle matrix: all builders must agree, satisfy "
+        "cover/soundness/canonical, match online BFS, survive fault "
+        "injection, and track incremental updates.  Failures are "
+        "shrunk and written as one-command repro files.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="number of cases to run (default 100 unless --time-budget)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop after this many wall-clock seconds",
+    )
+    fuzz.add_argument(
+        "--families", nargs="*", default=None, choices=FUZZ_FAMILIES,
+        help="restrict to these graph families (default: all)",
+    )
+    fuzz.add_argument(
+        "--replay", type=Path, default=None, metavar="FILE",
+        help="re-run one serialized failure repro instead of a campaign",
+    )
+    fuzz.add_argument(
+        "--failures-dir", type=Path, default=Path("fuzz-failures"),
+        metavar="DIR", help="where failure repros are written",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of failing cases",
     )
 
     trace = sub.add_parser(
@@ -412,12 +451,13 @@ def _cmd_validate(args) -> int:
     index = ReachabilityIndex.load(args.index)
     cover = check_cover(index, graph, sample=args.sample)
     soundness = check_soundness(index, graph)
-    print(f"cover:     {cover.checked} pairs checked, "
-          f"{'OK' if cover.ok else 'FAILED'}")
-    print(f"soundness: {soundness.checked} entries checked, "
-          f"{'OK' if soundness.ok else 'FAILED'}")
+    print(f"cover:     {cover}")
+    print(f"soundness: {soundness}")
     for violation in (cover.violations + soundness.violations)[:10]:
         print(f"  violation: {violation}")
+    suppressed = cover.suppressed + soundness.suppressed
+    if suppressed:
+        print(f"  ... {suppressed} further violation(s) suppressed")
     return 0 if cover.ok and soundness.ok else 1
 
 
@@ -497,6 +537,45 @@ def _cmd_bench(args) -> int:
     return exit_code
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.runner import replay_failure, run_fuzz
+
+    if args.replay is not None:
+        if not args.replay.exists():
+            print(f"error: no such file: {args.replay}", file=sys.stderr)
+            return 2
+        data, result = replay_failure(args.replay)
+        print(f"replaying {args.replay}")
+        print(f"  {data['case'].describe()}")
+        if "fingerprint" in data:
+            print(f"  recorded failure: [{data.get('oracle', '?')}] "
+                  f"{data.get('message', '')}")
+        if result.ok:
+            print("  all oracles pass — the failure no longer reproduces")
+            return 0
+        for failure in result.failures:
+            print(f"  [{failure.oracle}] {failure.message}")
+        return 1
+
+    count = args.cases
+    if count is None and args.time_budget is None:
+        count = 100
+    if args.time_budget is not None and args.time_budget <= 0:
+        print("error: --time-budget must be positive", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        seed=args.seed,
+        count=count,
+        time_budget=args.time_budget,
+        families=args.families or None,
+        failures_dir=args.failures_dir,
+        shrink=not args.no_shrink,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _read_trace_tolerantly(path: Path):
     """Shared trace loading for ``trace``/``profile``: returns
     ``(records, exit_code)`` where records is ``None`` on a hard error.
@@ -566,6 +645,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
 }

@@ -97,6 +97,16 @@ class DynamicReachabilityIndex:
         return self._n
 
     @property
+    def order(self) -> VertexOrder:
+        """The fixed total order every update maintains the index under.
+
+        Exposed so external checkers (``repro.fuzz`` oracles, tests)
+        can rebuild the reference ``tol_index(current_graph(), order)``
+        the snapshot contract promises equality with.
+        """
+        return self._order
+
+    @property
     def num_edges(self) -> int:
         """Current number of edges."""
         return sum(len(adj) for adj in self._out_adj)

@@ -22,24 +22,48 @@ from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder
 
 
+#: Violation messages kept per report; the rest are only counted.
+MAX_MESSAGES = 20
+
+
 @dataclass
 class ValidationReport:
-    """Outcome of a validation pass."""
+    """Outcome of a validation pass.
+
+    At most :data:`MAX_MESSAGES` violation messages are stored;
+    further violations are still *counted* in :attr:`suppressed` (and
+    still fail the report), they just carry no message text.
+    """
 
     checked: int = 0
     violations: list[str] = field(default_factory=list)
+    suppressed: int = 0
 
     @property
     def ok(self) -> bool:
         """True when no violation was found."""
-        return not self.violations
+        return not self.violations and not self.suppressed
+
+    @property
+    def total_violations(self) -> int:
+        """All violations found, including suppressed ones."""
+        return len(self.violations) + self.suppressed
 
     def add(self, message: str) -> None:
-        """Record a violation (keeps at most 20 messages)."""
-        if len(self.violations) < 20:
+        """Record a violation (keeps at most :data:`MAX_MESSAGES`
+        messages; the overflow is tallied in :attr:`suppressed`)."""
+        if len(self.violations) < MAX_MESSAGES:
             self.violations.append(message)
-        else:  # pragma: no cover - overflow marker
-            self.violations[-1] = "... more violations suppressed"
+        else:
+            self.suppressed += 1
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"OK ({self.checked} checked)"
+        head = f"FAILED ({self.checked} checked, {self.total_violations} violations"
+        if self.suppressed:
+            head += f", {self.suppressed} suppressed"
+        return head + ")"
 
 
 def check_cover(

@@ -202,6 +202,23 @@ class FaultPlan:
         except ValueError as exc:
             raise FaultSpecError(str(exc)) from exc
 
+    def to_spec(self) -> str:
+        """The compact textual spec; inverse of :meth:`parse`.
+
+        ``FaultPlan.parse(plan.to_spec()) == plan`` for every plan, so
+        plans can travel through JSON (fuzz-case repro files, configs)
+        as one string.
+        """
+        clauses = [f"crash={c.node}@{c.superstep}" for c in self.crashes]
+        clauses += [f"straggler={s.node}x{s.slowdown:g}" for s in self.stragglers]
+        if self.loss_rate:
+            clauses.append(f"loss={self.loss_rate:g}")
+        if self.duplication_rate:
+            clauses.append(f"dup={self.duplication_rate:g}")
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        return ",".join(clauses)
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         parts = [f"crash node {c.node}@superstep {c.superstep}" for c in self.crashes]

@@ -256,6 +256,90 @@ def knowledge_graph(
     return builder.build()
 
 
+def lattice_graph(
+    rows: int, cols: int, wrap: bool = False, diagonal_prob: float = 0.0, seed: int = 0
+) -> DiGraph:
+    """Directed grid lattice: edges point right and down.
+
+    Lattices are the adversarial opposite of the power-law families:
+    no hubs, maximal label sizes per vertex, and reachability that is
+    exactly the "south-east cone" of each cell — a worst case for
+    2-hop pruning.  ``wrap=True`` closes both axes into a torus, which
+    collapses the graph into one giant SCC; ``diagonal_prob`` adds
+    random down-right diagonals to break the regular structure.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("lattice needs at least one row and one column")
+    rng = random.Random(seed)
+    n = rows * cols
+    builder = GraphBuilder(num_vertices=n)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                builder.add_edge(vid(r, c), vid(r, c + 1))
+            elif wrap and cols > 1:
+                builder.add_edge(vid(r, c), vid(r, 0))
+            if r + 1 < rows:
+                builder.add_edge(vid(r, c), vid(r + 1, c))
+            elif wrap and rows > 1:
+                builder.add_edge(vid(r, c), vid(0, c))
+            if (
+                diagonal_prob
+                and r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_prob
+            ):
+                builder.add_edge(vid(r, c), vid(r + 1, c + 1))
+    return builder.build()
+
+
+def scc_heavy_graph(
+    n: int,
+    seed: int = 0,
+    avg_component: float = 4.0,
+    bridge_factor: float = 1.5,
+) -> DiGraph:
+    """Graph dominated by non-trivial SCCs (condensation stress test).
+
+    Vertices are grouped into components of geometric size around
+    ``avg_component``; each component is closed into a directed cycle
+    (so every member reaches every other), then ``bridge_factor * #components``
+    bridge edges are added from earlier components to later ones,
+    keeping the component DAG acyclic while the inside stays maximally
+    cyclic.  Exercises exactly the paths the paper's direct (no
+    condensation) approach must get right on cyclic inputs.
+    """
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    builder = GraphBuilder(num_vertices=n)
+    components: list[list[int]] = []
+    v = 0
+    while v < n:
+        size = min(n - v, max(1, int(rng.expovariate(1.0 / avg_component)) + 1))
+        components.append(list(range(v, v + size)))
+        v += size
+    for members in components:
+        if len(members) > 1:
+            for a, b in zip(members, members[1:]):
+                builder.add_edge(a, b)
+            builder.add_edge(members[-1], members[0])
+    bridges = int(bridge_factor * len(components))
+    for _ in range(bridges):
+        if len(components) < 2:
+            break
+        i = rng.randrange(len(components) - 1)
+        j = rng.randrange(i + 1, len(components))
+        builder.add_edge(
+            rng.choice(components[i]), rng.choice(components[j])
+        )
+    return builder.build()
+
+
 def kronecker_graph(
     scale: int,
     edge_factor: int = 16,

@@ -36,6 +36,19 @@ def dags(draw, max_vertices: int = 20) -> DiGraph:
     return DiGraph(n, edges)
 
 
+@st.composite
+def family_graphs(draw, max_vertices: int = 20) -> DiGraph:
+    """Graphs drawn from the fuzz harness's families (DAG, cyclic,
+    SCC-heavy, power-law, lattice) — structured inputs that stress the
+    labeling algorithms harder than uniform random digraphs."""
+    from repro.fuzz.cases import FAMILIES, family_graph
+
+    family = draw(st.sampled_from(FAMILIES))
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return family_graph(family, n, seed)
+
+
 @pytest.fixture
 def paper_graph() -> DiGraph:
     """Fig. 1's graph (vertices 0..10 = the paper's v1..v11)."""

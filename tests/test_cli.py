@@ -124,7 +124,7 @@ def test_validate_good_index(graph_file, index_file, capsys):
     assert main(["validate", str(graph_file), str(index_file),
                  "--sample", "500"]) == 0
     out = capsys.readouterr().out
-    assert "cover:     500 pairs checked, OK" in out
+    assert "cover:     OK (500 checked)" in out
     assert "soundness:" in out
 
 

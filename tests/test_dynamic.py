@@ -19,7 +19,7 @@ from tests.conftest import digraphs
 
 
 def _assert_exact(dynamic: DynamicReachabilityIndex) -> None:
-    expected = tol_index(dynamic.current_graph(), dynamic._order)
+    expected = tol_index(dynamic.current_graph(), dynamic.order)
     assert dynamic.snapshot() == expected
 
 
@@ -111,6 +111,29 @@ def test_reinsert_after_delete_round_trips():
         dynamic.insert_edge(u, v)
     assert dynamic.current_graph() == g
     _assert_exact(dynamic)
+
+
+@pytest.mark.parametrize("family", ["dag", "cyclic", "scc-heavy", "power-law"])
+def test_delete_then_reinsert_same_edge_matches_rebuild(family):
+    """Deleting an edge and re-inserting the *same* edge must track a
+    full rebuild at every intermediate state, not just round-trip back
+    to the original index.
+
+    Insertion and deletion take different code paths (resumed BFS vs.
+    backward recomputation); the mid-point equality is what catches a
+    deletion that leaves stale entries an insertion silently re-covers.
+    """
+    from repro.fuzz.cases import family_graph
+
+    g = family_graph(family, 18, seed=9)
+    dynamic = DynamicReachabilityIndex(g)
+    for u, v in list(g.edges())[:6]:
+        assert dynamic.delete_edge(u, v)
+        _assert_exact(dynamic)  # rebuild equality with the edge gone
+        assert dynamic.insert_edge(u, v)
+        _assert_exact(dynamic)  # ... and after it returns
+    assert dynamic.current_graph() == g
+    assert dynamic.snapshot() == tol_index(g, dynamic.order)
 
 
 def test_rebuild_threshold_path():

@@ -48,7 +48,7 @@ class DynamicIndexMachine(RuleBasedStateMachine):
     @invariant()
     def index_is_exactly_tol(self):
         graph = DiGraph(_N, sorted(self.edges))
-        assert self.dynamic.snapshot() == tol_index(graph, self.dynamic._order)
+        assert self.dynamic.snapshot() == tol_index(graph, self.dynamic.order)
 
 
 DynamicIndexMachine.TestCase.settings = settings(

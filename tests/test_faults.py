@@ -85,6 +85,23 @@ def test_plan_parse():
 @pytest.mark.parametrize(
     "spec",
     [
+        "",
+        "crash=3@5",
+        "crash=3@5,straggler=2x4.0,loss=0.01,dup=0.02,seed=42",
+        "straggler=0x1.5,straggler=1x2.25",
+        "loss=0.005,seed=9",
+    ],
+)
+def test_plan_to_spec_round_trips(spec):
+    """``parse`` ∘ ``to_spec`` is the identity — fuzz-case repro files
+    store plans as this one string."""
+    plan = FaultPlan.parse(spec)
+    assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
         "crash=oops",
         "crash=1",
         "straggler=1",

@@ -7,10 +7,12 @@ from repro.graph.generators import (
     gn_graph,
     knowledge_graph,
     kronecker_graph,
+    lattice_graph,
     paper_example_graph,
     paper_example_order,
     random_dag,
     random_digraph,
+    scc_heavy_graph,
     social_graph,
     web_graph,
 )
@@ -186,3 +188,47 @@ def test_generators_reject_tiny_n(factory):
 def test_knowledge_graph_rejects_tiny_n():
     with pytest.raises(ValueError):
         knowledge_graph(3)
+
+
+# ----------------------------------------------------------------------
+# Fuzzing-family generators (lattice, SCC-heavy)
+# ----------------------------------------------------------------------
+def test_lattice_graph_shape_and_determinism():
+    g = lattice_graph(4, 5, seed=0)
+    assert g == lattice_graph(4, 5, seed=0)
+    assert g.num_vertices == 20
+    # Interior cell (r, c) points right and down.
+    assert g.has_edge(0, 1) and g.has_edge(0, 5)
+    assert _is_acyclic(g)
+
+
+def test_lattice_torus_is_one_scc():
+    g = lattice_graph(3, 4, wrap=True)
+    components = strongly_connected_components(g)
+    assert len(components) == 1
+    assert len(components[0]) == 12
+
+
+def test_lattice_diagonals_stay_acyclic():
+    g = lattice_graph(5, 5, diagonal_prob=1.0, seed=2)
+    assert _is_acyclic(g)
+    assert g.num_edges > lattice_graph(5, 5).num_edges
+
+
+def test_lattice_rejects_empty():
+    with pytest.raises(ValueError):
+        lattice_graph(0, 3)
+
+
+def test_scc_heavy_graph_is_scc_dominated():
+    g = scc_heavy_graph(60, seed=5)
+    assert g == scc_heavy_graph(60, seed=5)
+    components = strongly_connected_components(g)
+    in_nontrivial = sum(len(c) for c in components if len(c) > 1)
+    assert in_nontrivial > g.num_vertices / 3
+    assert not any(u == v for u, v in g.edges())
+
+
+def test_scc_heavy_rejects_tiny_n():
+    with pytest.raises(ValueError):
+        scc_heavy_graph(1)

@@ -55,7 +55,7 @@ def test_dynamic_index_stays_canonical_under_stream():
     current = dynamic.current_graph()
     snapshot = dynamic.snapshot()
     assert check_cover(snapshot, current, sample=3000).ok
-    assert check_canonical(snapshot, current, dynamic._order).ok
+    assert check_canonical(snapshot, current, dynamic.order).ok
 
 
 def test_moderate_scale_equality_all_methods():

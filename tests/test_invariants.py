@@ -1,13 +1,20 @@
 """Cross-cutting property tests: the library's central invariants.
 
 1. Every construction method yields the exact TOL index.
-2. Every index satisfies the cover constraint (Definition 3).
+2. Every index satisfies the cover constraint (Definition 3), label
+   soundness, and Theorem 1's canonical characterisation — checked
+   through ``repro.core.validate``, the same checkers the fuzz
+   harness's oracles use.
 3. Reachability axioms hold through the index: reflexivity and
    transitivity.
 4. Indexes survive serialization.
+
+Graphs come from the fuzz harness's family generators (DAG, cyclic,
+SCC-heavy, power-law, lattice) instead of only uniform random
+digraphs: hub-dominated and hub-free topologies exercise the pruning
+logic in opposite regimes.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,15 +22,16 @@ from repro.baselines.transitive_closure import TransitiveClosure
 from repro.core.build import METHOD_NAMES, build_index
 from repro.core.labels import ReachabilityIndex
 from repro.core.tol import tol_index_reference
+from repro.core.validate import check_canonical, check_cover, check_soundness
 from repro.graph.order import degree_order
 from repro.pregel.cost_model import CostModel
-from tests.conftest import dags, digraphs
+from tests.conftest import dags, digraphs, family_graphs
 
 _NO_LIMIT = CostModel(time_limit_seconds=None)
 
 
 @settings(max_examples=25, deadline=None)
-@given(digraphs(max_vertices=16))
+@given(family_graphs(max_vertices=16))
 def test_property_every_method_identical(g):
     order = degree_order(g)
     reference = tol_index_reference(g, order)
@@ -35,27 +43,49 @@ def test_property_every_method_identical(g):
 
 
 @settings(max_examples=40, deadline=None)
-@given(digraphs())
+@given(family_graphs())
 def test_property_cover_constraint_all_pairs(g):
-    oracle = TransitiveClosure(g)
     index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
-    for s in range(g.num_vertices):
-        for t in range(g.num_vertices):
-            assert index.query(s, t) == oracle.query(s, t), (s, t)
+    report = check_cover(index, g)
+    assert report.ok, report.violations
+    assert report.checked == g.num_vertices**2
 
 
 @settings(max_examples=30, deadline=None)
 @given(dags())
 def test_property_cover_constraint_on_dags(g):
-    oracle = TransitiveClosure(g)
     index = build_index(g, method="drl", cost_model=_NO_LIMIT).index
-    for s in range(g.num_vertices):
-        for t in range(g.num_vertices):
-            assert index.query(s, t) == oracle.query(s, t)
+    assert check_cover(index, g).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(family_graphs())
+def test_property_soundness_and_canonical(g):
+    """Soundness plus Theorem 1: the built index is exactly TOL's —
+    no missing entries, no redundant ones — under its build order."""
+    order = degree_order(g)
+    index = build_index(
+        g, method="drl-b", order=order, cost_model=_NO_LIMIT
+    ).index
+    soundness = check_soundness(index, g)
+    assert soundness.ok, soundness.violations
+    canonical = check_canonical(index, g, order)
+    assert canonical.ok, canonical.violations
 
 
 @settings(max_examples=30, deadline=None)
 @given(digraphs())
+def test_property_canonical_on_uniform_digraphs(g):
+    """The canonical check also holds on unstructured random graphs."""
+    order = degree_order(g)
+    index = build_index(
+        g, method="drl", order=order, num_nodes=2, cost_model=_NO_LIMIT
+    ).index
+    assert check_canonical(index, g, order).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(family_graphs())
 def test_property_reflexivity_and_transitivity(g):
     index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
     n = g.num_vertices
@@ -72,7 +102,7 @@ def test_property_reflexivity_and_transitivity(g):
 
 
 @settings(max_examples=20, deadline=None)
-@given(digraphs())
+@given(family_graphs())
 def test_property_serialization_round_trip(tmp_path_factory, g):
     index = build_index(g, method="drl-b", cost_model=_NO_LIMIT).index
     path = tmp_path_factory.mktemp("idx") / "index.bin"
@@ -82,7 +112,7 @@ def test_property_serialization_round_trip(tmp_path_factory, g):
 
 
 @settings(max_examples=25, deadline=None)
-@given(digraphs(), st.integers(min_value=1, max_value=6))
+@given(family_graphs(), st.integers(min_value=1, max_value=6))
 def test_property_label_minimality_witness(g, _seed):
     """Every label entry is *useful*: u ∈ L_in(w) implies u reaches w
     and (from Theorem 1) u is the top vertex of some real walk."""

@@ -73,5 +73,5 @@ def test_property_stream_applies_exactly(n, count):
     assert set(dynamic.edges()) == expected
     # And the maintained index is still exact.
     assert dynamic.snapshot() == tol_index(
-        dynamic.current_graph(), dynamic._order
+        dynamic.current_graph(), dynamic.order
     )

@@ -56,6 +56,48 @@ def test_cover_sampled_mode():
     assert report.checked == 500
 
 
+def test_report_counts_suppressed_violations():
+    """Regression: violations past the message cap used to vanish —
+    only the first 20 were kept and the rest left no trace.  They must
+    now be counted, fail the report, and show up in ``str()``."""
+    from repro.core.validate import MAX_MESSAGES, ValidationReport
+
+    report = ValidationReport()
+    total = MAX_MESSAGES + 15
+    for i in range(total):
+        report.checked += 1
+        report.add(f"violation {i}")
+    assert len(report.violations) == MAX_MESSAGES
+    assert report.suppressed == 15
+    assert report.total_violations == total
+    assert not report.ok
+    rendered = str(report)
+    assert f"{total} violations" in rendered
+    assert "15 suppressed" in rendered
+
+
+def test_report_suppression_from_a_real_check():
+    """An index that misses *every* pair overflows the message cap; the
+    overflow must be reported, not silently dropped."""
+    n = 12
+    g = DiGraph(n, [(u, u + 1) for u in range(n - 1)])
+    empty = ReachabilityIndex.from_label_lists(
+        [[] for _ in range(n)], [[] for _ in range(n)]
+    )
+    report = check_cover(empty, g)
+    assert report.suppressed > 0
+    assert report.total_violations == len(report.violations) + report.suppressed
+    assert "suppressed" in str(report)
+
+
+def test_report_str_when_clean():
+    from repro.core.validate import ValidationReport
+
+    report = ValidationReport(checked=7)
+    assert report.ok
+    assert str(report) == "OK (7 checked)"
+
+
 def test_cover_rejects_size_mismatch():
     g = DiGraph(3, [])
     index = ReachabilityIndex.from_label_lists([[0]], [[0]])
