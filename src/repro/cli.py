@@ -10,6 +10,9 @@ Commands
 - ``bench`` — run one paper experiment and print its table(s); with
   ``--save-baseline`` / ``--check-baseline`` it doubles as the perf
   regression gate (see ``benchmarks/baselines/``).
+- ``serve-bench`` — benchmark the query-serving layer: sharded labels,
+  query cache on/off, admission control under a Zipf/Poisson workload;
+  supports the same baseline gate flags (see ``docs/serving.md``).
 - ``fuzz`` — differential fuzzing of the index builders against the
   oracle matrix, with failure shrinking and ``--replay`` of saved
   repros (see ``docs/paper_mapping.md``, "Fuzzing oracles").
@@ -17,7 +20,8 @@ Commands
 - ``profile`` — skew/straggler analysis of a JSONL trace, with
   optional Chrome-trace (Perfetto) and flamegraph export.
 
-``build``, ``query``, and ``bench`` accept ``--trace-out PATH`` (export
+``build``, ``query``, ``bench``, and ``serve-bench`` accept
+``--trace-out PATH`` (export
 spans/events/metrics as JSONL) and ``--verbose`` (mirror telemetry to
 stderr via stdlib logging); see ``docs/observability.md``.
 """
@@ -186,6 +190,95 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="skip delta-debugging of failing cases",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the query-serving layer (cached vs uncached)",
+        parents=[telemetry_flags],
+        description="Shard the index, replay a Zipf-skewed request "
+        "stream through the admission/batching pipeline with and "
+        "without the query cache, and print throughput, latency "
+        "percentiles, cache hit rate, per-shard load skew, and shed "
+        "counts.  See docs/serving.md.",
+    )
+    serve_bench.add_argument(
+        "graph", type=Path, nargs="?", default=None,
+        help="edge-list file to serve; omit to generate one",
+    )
+    serve_bench.add_argument(
+        "--kind", choices=sorted(_GENERATORS), default="social",
+        help="generator used when no graph file is given",
+    )
+    serve_bench.add_argument("--vertices", "-n", type=int, default=2000)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--shards", type=int, default=8)
+    serve_bench.add_argument(
+        "--partitioner", choices=["hash", "modulo", "range", "block"],
+        default="hash",
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=20000,
+        help="length of the request stream (default 20000)",
+    )
+    serve_bench.add_argument(
+        "--arrival", choices=["poisson", "uniform", "closed"],
+        default="poisson",
+        help="open-loop Poisson/uniform arrivals, or closed-loop clients",
+    )
+    serve_bench.add_argument(
+        "--rate", type=float, default=2_000_000.0,
+        help="open-loop offered load in requests per simulated second",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=32,
+        help="closed-loop client count (with --arrival closed)",
+    )
+    serve_bench.add_argument(
+        "--zipf", type=float, default=1.4,
+        help="source/target popularity skew (0 = uniform)",
+    )
+    serve_bench.add_argument(
+        "--cache-size", type=int, default=65536,
+        help="query-cache capacity in entries",
+    )
+    serve_bench.add_argument(
+        "--no-negative-cache", action="store_true",
+        help="cache only positive answers",
+    )
+    serve_bench.add_argument(
+        "--cache-only", action="store_true",
+        help="run only the cached configuration",
+    )
+    serve_bench.add_argument(
+        "--no-cache", action="store_true",
+        help="run only the uncached configuration",
+    )
+    serve_bench.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="admission queue bound; overflow is shed",
+    )
+    serve_bench.add_argument(
+        "--batch-size", type=int, default=32,
+        help="requests dequeued per dispatch",
+    )
+    serve_bench.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="drop requests queued longer than this (simulated seconds)",
+    )
+    serve_bench.add_argument(
+        "--save-baseline", nargs="?", const="", default=None, metavar="PATH",
+        help="save the table as the serve regression baseline "
+        "(default PATH: benchmarks/baselines/serve-bench.json)",
+    )
+    serve_bench.add_argument(
+        "--check-baseline", nargs="?", const="", default=None, metavar="PATH",
+        help="compare against a saved baseline; exit non-zero on deviation",
+    )
+    serve_bench.add_argument(
+        "--baseline-threshold", type=float, default=None, metavar="FRACTION",
+        help="relative deviation tolerated by --check-baseline "
+        "(default 0.1 = 10%%)",
     )
 
     trace = sub.add_parser(
@@ -537,6 +630,86 @@ def _cmd_bench(args) -> int:
     return exit_code
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.serve.bench import caching_speedup, run_serve_bench
+
+    if args.cache_only and args.no_cache:
+        print("error: --cache-only and --no-cache exclude each other",
+              file=sys.stderr)
+        return 2
+    if args.graph is not None:
+        if not args.graph.exists():
+            print(f"error: no such file: {args.graph}", file=sys.stderr)
+            return 2
+        graph = read_edge_list(args.graph)
+    else:
+        graph = _GENERATORS[args.kind](args.vertices, seed=args.seed)
+        print(f"generated {args.kind} graph: n={graph.num_vertices} "
+              f"m={graph.num_edges}", file=sys.stderr)
+    table, reports = run_serve_bench(
+        graph,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        requests=args.requests,
+        rate=args.rate,
+        arrival=args.arrival,
+        clients=args.clients,
+        zipf=args.zipf,
+        cache_size=args.cache_size,
+        negative_cache=not args.no_negative_cache,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        deadline_seconds=args.deadline,
+        seed=args.seed,
+        with_cache=not args.no_cache,
+        without_cache=not args.cache_only,
+    )
+    for row, report in reports.items():
+        print(f"[{row}]")
+        print(report.summary())
+        print()
+    print(table.render())
+    speedup = caching_speedup(reports)
+    if speedup is not None:
+        print(f"\ncaching speedup: {speedup:.2f}x throughput")
+    exit_code = 0
+    if args.check_baseline is not None or args.save_baseline is not None:
+        from repro.bench.baseline import (
+            DEFAULT_THRESHOLD,
+            compare_to_baseline,
+            default_baseline_path,
+            load_baseline,
+            save_baseline,
+        )
+
+        if args.check_baseline is not None:
+            path = (
+                Path(args.check_baseline)
+                if args.check_baseline
+                else default_baseline_path("serve-bench")
+            )
+            threshold = (
+                args.baseline_threshold
+                if args.baseline_threshold is not None
+                else DEFAULT_THRESHOLD
+            )
+            comparison = compare_to_baseline(
+                load_baseline(path), [table], threshold=threshold
+            )
+            print(comparison.render())
+            if not comparison.ok:
+                exit_code = 1
+        if args.save_baseline is not None:
+            path = (
+                Path(args.save_baseline)
+                if args.save_baseline
+                else default_baseline_path("serve-bench")
+            )
+            saved = save_baseline("serve-bench", [table], path)
+            print(f"baseline saved to {saved}", file=sys.stderr)
+    return exit_code
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz.runner import replay_failure, run_fuzz
 
@@ -645,6 +818,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

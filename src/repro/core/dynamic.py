@@ -86,6 +86,7 @@ class DynamicReachabilityIndex:
         # Label sets: in_labels[w] = L_in(w), out_labels[w] = L_out(w).
         self.in_labels: list[set[int]] = [set() for _ in range(n)]
         self.out_labels: list[set[int]] = [set() for _ in range(n)]
+        self._listeners: list = []
         self._rebuild()
 
     # ------------------------------------------------------------------
@@ -137,6 +138,30 @@ class DynamicReachabilityIndex:
         return DiGraph(self._n, list(self.edges()))
 
     # ------------------------------------------------------------------
+    # Update hooks
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> None:
+        """Register ``listener(op, u, v)`` to run after every *applied*
+        update (``op`` is ``"insert"`` or ``"delete"``).
+
+        Listeners fire only when the graph actually changed — inserting
+        a present edge or deleting an absent one is a no-op and stays
+        silent.  They run after the label sets are consistent again, so
+        a listener may query the index.  This is the invalidation hook
+        the serving layer's :class:`~repro.serve.QueryCache` attaches
+        to (see ``docs/serving.md``).
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously registered listener."""
+        self._listeners.remove(listener)
+
+    def _notify(self, op: str, u: int, v: int) -> None:
+        for listener in self._listeners:
+            listener(op, u, v)
+
+    # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
     def insert_edge(self, u: int, v: int) -> bool:
@@ -160,6 +185,7 @@ class DynamicReachabilityIndex:
         for b in sorted(self.out_labels[v], key=lambda x: self._rank[x]):
             self._resume(b, u, forward=False)
         self._sweep_stale(u, v)
+        self._notify("insert", u, v)
         return True
 
     def _resume(self, hub: int, root: int, forward: bool) -> None:
@@ -232,12 +258,14 @@ class DynamicReachabilityIndex:
         threshold = self._rebuild_fraction * self._n
         if len(affected_fwd) + len(affected_bwd) > threshold:
             self._rebuild()
+            self._notify("delete", u, v)
             return True
 
         for a in affected_fwd:
             self._recompute_backward(a, forward=True)
         for b in affected_bwd:
             self._recompute_backward(b, forward=False)
+        self._notify("delete", u, v)
         return True
 
     def _recompute_backward(self, hub: int, forward: bool) -> None:

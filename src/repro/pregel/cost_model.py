@@ -87,6 +87,14 @@ class CostModel:
             raise TimeLimitExceeded(elapsed_seconds, limit)
 
 
+#: Shared default instance for code paths that accept an optional
+#: :class:`CostModel`.  Query backends and the serving layer all fall
+#: back to this one object, so mixed-backend evaluations (serve-bench,
+#: fallback ladders) are guaranteed to charge under the same constants
+#: unless a caller explicitly passes a different model.
+DEFAULT_COST_MODEL = CostModel()
+
+
 def mpi_cluster_model(**overrides) -> CostModel:
     """The default distributed-cluster model (paper's Exp setup)."""
     return replace(CostModel(), **overrides)

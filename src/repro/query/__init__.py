@@ -11,6 +11,7 @@ how Table VI's query-time columns are produced in spirit.
 from repro.query.service import (
     BflBackend,
     DistributedIndexBackend,
+    DynamicIndexBackend,
     FallbackBackend,
     GrailBackend,
     IndexBackend,
@@ -22,6 +23,7 @@ from repro.query.service import (
 __all__ = [
     "BflBackend",
     "DistributedIndexBackend",
+    "DynamicIndexBackend",
     "FallbackBackend",
     "GrailBackend",
     "IndexBackend",

@@ -10,7 +10,7 @@ from repro.baselines.grail import GrailIndex
 from repro.baselines.online import OnlineSearcher
 from repro.core.labels import ReachabilityIndex
 from repro.graph.digraph import DiGraph
-from repro.pregel.cost_model import CostModel
+from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.telemetry import (
     LATENCY_BUCKETS,
     MetricsRegistry,
@@ -33,11 +33,31 @@ class IndexBackend:
 
     def __init__(self, index: ReachabilityIndex, cost_model: CostModel | None = None):
         self._index = index
-        self._t_op = (cost_model or CostModel()).t_op
+        self._t_op = (cost_model or DEFAULT_COST_MODEL).t_op
 
     def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
         index = self._index
         units = len(index.out_labels(s)) + len(index.in_labels(t)) + 1
+        return index.query(s, t), units * self._t_op
+
+
+class DynamicIndexBackend:
+    """2-hop queries against a live :class:`DynamicReachabilityIndex`.
+
+    Same sorted-merge charge as :class:`IndexBackend`, but the labels
+    are read from the mutable index, so answers track edge insertions
+    and deletions without re-wrapping a snapshot.  Pair it with
+    :class:`repro.serve.QueryCache` (which subscribes to the dynamic
+    index's update hooks) for serving under updates.
+    """
+
+    def __init__(self, index, cost_model: CostModel | None = None):
+        self._index = index
+        self._t_op = (cost_model or DEFAULT_COST_MODEL).t_op
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        index = self._index
+        units = len(index.out_labels[s]) + len(index.in_labels[t]) + 1
         return index.query(s, t), units * self._t_op
 
 
@@ -46,7 +66,7 @@ class BflBackend:
 
     def __init__(self, index: BflIndex, cost_model: CostModel | None = None):
         self._index = index
-        self._cost = cost_model or CostModel()
+        self._cost = cost_model or DEFAULT_COST_MODEL
 
     def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
         from repro.pregel.serial import SerialMeter
@@ -61,7 +81,7 @@ class GrailBackend:
 
     def __init__(self, index: GrailIndex, cost_model: CostModel | None = None):
         self._index = index
-        self._cost = cost_model or CostModel()
+        self._cost = cost_model or DEFAULT_COST_MODEL
 
     def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
         from repro.pregel.serial import SerialMeter
@@ -75,7 +95,7 @@ class OnlineBackend:
     """Index-free backend: BFS per query."""
 
     def __init__(self, graph: DiGraph, cost_model: CostModel | None = None):
-        self._searcher = OnlineSearcher(graph, cost_model or CostModel())
+        self._searcher = OnlineSearcher(graph, cost_model or DEFAULT_COST_MODEL)
 
     def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
         return self._searcher.query_with_cost(s, t)
@@ -100,7 +120,7 @@ class DistributedIndexBackend:
         from repro.graph.partition import HashPartitioner
 
         self._index = index
-        self._cost = cost_model or CostModel()
+        self._cost = cost_model or DEFAULT_COST_MODEL
         self._partitioner = HashPartitioner(num_nodes)
         self._coordinator = coordinator_node
 

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the high-throughput query-serving layer.
+
+The paper builds the index; this subsystem *serves* it, at the scale
+the ROADMAP's north star asks for.  Four pieces, bottom to top:
+
+- :mod:`~repro.serve.store` — ``L_in``/``L_out`` sharded across N
+  shards via the :mod:`repro.graph.partition` partitioners, with
+  per-shard memory accounting and cross-shard fetch costs charged
+  through the :class:`~repro.pregel.cost_model.CostModel`;
+- :mod:`~repro.serve.cache` — an LRU result cache (optional negative
+  caching) whose invalidation hooks subscribe to
+  :class:`~repro.core.dynamic.DynamicReachabilityIndex` updates, so
+  no stale answer survives an edge insert/delete;
+- :mod:`~repro.serve.pipeline` — the serving loop: bounded admission
+  queue (overflow sheds), request batching, deadline drops, and
+  graceful degradation via
+  :class:`~repro.query.service.FallbackBackend`;
+- :mod:`~repro.serve.bench` — the ``repro serve-bench`` runner that
+  replays a Zipf/Poisson workload cached and uncached and renders one
+  baseline-gateable table.
+
+Architecture, the degradation ladder, and a metrics glossary live in
+``docs/serving.md``.
+"""
+
+from repro.serve.bench import COLUMNS, caching_speedup, run_serve_bench
+from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.pipeline import QueryServer, ServeReport
+from repro.serve.store import LabelShard, ShardedIndexBackend, ShardedLabelStore
+
+__all__ = [
+    "COLUMNS",
+    "CachingBackend",
+    "LabelShard",
+    "QueryCache",
+    "QueryServer",
+    "ServeReport",
+    "ShardedIndexBackend",
+    "ShardedLabelStore",
+    "caching_speedup",
+    "run_serve_bench",
+]

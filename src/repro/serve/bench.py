@@ -1,0 +1,147 @@
+"""The `repro serve-bench` runner: cached vs uncached serving.
+
+Builds the index once, shards it, replays the same Zipf-skewed request
+stream through a cached and an uncached pipeline, and reports both as
+one :class:`~repro.bench.results.ExperimentTable` — which makes the
+result (a) directly comparable ("what did caching buy?") and (b)
+gate-able by the existing benchmark baseline machinery
+(``--save-baseline`` / ``--check-baseline``, see
+``docs/observability.md``).
+
+Every number is simulated and therefore deterministic: the committed
+``benchmarks/baselines/serve-bench.json`` must reproduce bit-for-bit
+on an unchanged tree.
+"""
+
+from __future__ import annotations
+
+from repro.bench.results import ExperimentTable
+from repro.core.tol import tol_index
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import PARTITIONER_STRATEGIES
+from repro.pregel.cost_model import CostModel
+from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.pipeline import QueryServer, ServeReport
+from repro.serve.store import ShardedIndexBackend, ShardedLabelStore
+from repro.telemetry import trace_span
+from repro.workloads.traffic import poisson_arrivals, uniform_arrivals, zipf_pairs
+
+#: Columns of the serve-bench table, in print order.
+COLUMNS = [
+    "throughput q/s",
+    "p50 s",
+    "p99 s",
+    "p999 s",
+    "hit rate",
+    "shard skew",
+    "shed",
+    "served",
+]
+
+
+def run_serve_bench(
+    graph: DiGraph,
+    *,
+    shards: int = 8,
+    partitioner: str = "hash",
+    requests: int = 20000,
+    rate: float = 2_000_000.0,
+    arrival: str = "poisson",
+    clients: int = 32,
+    think_seconds: float = 0.0,
+    zipf: float = 1.4,
+    cache_size: int = 65536,
+    negative_cache: bool = True,
+    queue_depth: int = 1024,
+    batch_size: int = 32,
+    deadline_seconds: float | None = None,
+    seed: int = 0,
+    with_cache: bool = True,
+    without_cache: bool = True,
+    cost_model: CostModel | None = None,
+) -> tuple[ExperimentTable, dict[str, ServeReport]]:
+    """Run the serving benchmark; returns ``(table, reports by row)``.
+
+    ``arrival`` is ``"poisson"`` (open loop, bursty), ``"uniform"``
+    (open loop, evenly spaced), or ``"closed"`` (``clients``
+    request-on-completion clients; nothing is shed because offered
+    load self-limits).  ``partitioner`` is any
+    :data:`~repro.graph.partition.PARTITIONER_STRATEGIES` key.
+    """
+    if partitioner not in PARTITIONER_STRATEGIES:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r} "
+            f"(choose from {sorted(PARTITIONER_STRATEGIES)})"
+        )
+    if arrival not in ("poisson", "uniform", "closed"):
+        raise ValueError("arrival must be 'poisson', 'uniform', or 'closed'")
+    with trace_span("serve.build", vertices=graph.num_vertices):
+        index = tol_index(graph)
+    pairs = zipf_pairs(graph.num_vertices, requests, seed=seed, skew=zipf)
+    if arrival == "poisson":
+        arrivals = poisson_arrivals(requests, rate, seed=seed + 7)
+    elif arrival == "uniform":
+        arrivals = uniform_arrivals(requests, rate)
+    else:
+        arrivals = None
+
+    table = ExperimentTable(
+        title=f"serve-bench — n={graph.num_vertices} m={graph.num_edges} "
+        f"shards={shards} {arrival} workload ({requests} requests)",
+        columns=list(COLUMNS),
+        scientific=True,
+    )
+    rows = []
+    if with_cache:
+        rows.append(("cached", True))
+    if without_cache:
+        rows.append(("uncached", False))
+    reports: dict[str, ServeReport] = {}
+    for row, use_cache in rows:
+        store = ShardedLabelStore(
+            index,
+            num_shards=shards,
+            partitioner=PARTITIONER_STRATEGIES[partitioner](
+                shards, graph.num_vertices
+            ),
+            cost_model=cost_model,
+        )
+        backend = ShardedIndexBackend(store)
+        if use_cache:
+            backend = CachingBackend(
+                backend,
+                QueryCache(cache_size, negative_caching=negative_cache),
+                cost_model,
+            )
+        server = QueryServer(
+            backend,
+            queue_depth=queue_depth,
+            batch_size=batch_size,
+            deadline_seconds=deadline_seconds,
+            cost_model=cost_model,
+        )
+        if arrivals is None:
+            report = server.run_closed(
+                pairs, clients=clients, think_seconds=think_seconds
+            )
+        else:
+            report = server.run_open(pairs, arrivals)
+        reports[row] = report
+        table.set(row, "throughput q/s", report.throughput)
+        table.set(row, "p50 s", report.p50_seconds)
+        table.set(row, "p99 s", report.p99_seconds)
+        table.set(row, "p999 s", report.p999_seconds)
+        table.set(row, "hit rate", report.cache_hit_rate)
+        table.set(row, "shard skew", report.shard_skew)
+        table.set(row, "shed", float(report.shed))
+        table.set(row, "served", float(report.served))
+    return table, reports
+
+
+def caching_speedup(reports: dict[str, ServeReport]) -> float | None:
+    """Cached/uncached throughput ratio, when both rows were run."""
+    cached = reports.get("cached")
+    uncached = reports.get("uncached")
+    if cached is None or uncached is None or not uncached.throughput:
+        return None
+    return cached.throughput / uncached.throughput

@@ -1,0 +1,367 @@
+"""The request pipeline: admission control, batching, deadlines.
+
+A batch evaluator (:class:`~repro.query.service.QueryService`) answers
+every query it is handed, however long that takes.  A *server* cannot:
+requests arrive on their own schedule, queues are finite, and a late
+answer is often worth nothing.  :class:`QueryServer` runs the serving
+loop on the simulated clock:
+
+1. **Admission** — arrivals enter a bounded FIFO queue; when it is
+   full the request is **shed** immediately (counted, never served).
+   Shedding at the door is the backpressure mechanism: an unbounded
+   queue converts overload into unbounded latency for everyone.
+2. **Batching** — the server dequeues up to ``batch_size`` requests
+   and pays one fixed dispatch cost (``t_hop``: one RPC round into the
+   executor) per batch, amortizing it across the batch — the same
+   batching argument as the paper's DRL_b, applied to serving.
+3. **Deadlines** — a request that has already waited past
+   ``deadline_seconds`` when dequeued is dropped (counted separately
+   from sheds): serving it would waste capacity on an answer the
+   client stopped waiting for.
+4. **Degradation** — the backend can be a
+   :class:`~repro.query.service.FallbackBackend`, so a cluster whose
+   index build died keeps answering (slower, via online BFS) while
+   admission control keeps the queue bounded.  The full ladder is
+   documented in ``docs/serving.md``.
+
+Everything is deterministic: time is the cost model's simulated clock,
+arrivals come from :mod:`repro.workloads.traffic`, and the same inputs
+always produce the same report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    current_metrics,
+    enabled,
+    trace_span,
+)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one serving run measured (all seconds simulated)."""
+
+    mode: str
+    offered: int
+    served: int
+    shed: int
+    deadline_dropped: int
+    positives: int
+    batches: int
+    queue_peak: int
+    makespan_seconds: float
+    mean_seconds: float
+    p50_seconds: float
+    p99_seconds: float
+    p999_seconds: float
+    max_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidated: int = 0
+    cache_evictions: int = 0
+    shard_loads: list[int] = field(default_factory=list)
+    shard_skew: float = 1.0
+    degraded: bool = False
+    fallback_queries: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per simulated second of makespan."""
+        if not self.makespan_seconds:
+            return 0.0
+        return self.served / self.makespan_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache lookups (0.0 without a cache)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.mode} run: {self.offered} offered, {self.served} served, "
+            f"{self.shed} shed, {self.deadline_dropped} past deadline",
+            f"  throughput {self.throughput:,.0f} q/s over "
+            f"{self.makespan_seconds:.3e} s (queue peak {self.queue_peak}, "
+            f"{self.batches} batches)",
+            f"  latency p50 {self.p50_seconds:.2e}s  p99 {self.p99_seconds:.2e}s  "
+            f"p999 {self.p999_seconds:.2e}s  max {self.max_seconds:.2e}s",
+        ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  cache: {self.cache_hit_rate:.1%} hit rate "
+                f"({self.cache_hits} hits / {self.cache_misses} misses, "
+                f"{self.cache_invalidated} invalidated, "
+                f"{self.cache_evictions} evicted)"
+            )
+        if self.shard_loads:
+            lines.append(
+                f"  shards: load skew {self.shard_skew:.2f} "
+                f"(max/mean over {len(self.shard_loads)} shards)"
+            )
+        if self.degraded:
+            lines.append(
+                f"  DEGRADED: {self.fallback_queries} queries served by "
+                f"online-BFS fallback"
+            )
+        return "\n".join(lines)
+
+
+def _chain(backend):
+    """The backend and whatever it wraps, outermost first."""
+    seen = []
+    while backend is not None and backend not in seen:
+        seen.append(backend)
+        backend = getattr(backend, "inner", None)
+    return seen
+
+
+class QueryServer:
+    """Serves a request stream through admission control and batching.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.query.service.QueryBackend`; typically a
+        :class:`~repro.serve.CachingBackend` over a
+        :class:`~repro.serve.ShardedIndexBackend`.
+    queue_depth:
+        Admission queue bound; arrivals beyond it are shed.
+    batch_size:
+        Requests dequeued per dispatch.
+    deadline_seconds:
+        Drop requests older than this at dequeue time (``None`` keeps
+        everything).
+    cost_model:
+        Supplies the per-batch dispatch cost (``t_hop``).
+    metrics:
+        Explicit registry for ``serve.*`` metrics; defaults to the
+        active telemetry session's registry, if any.
+    """
+
+    def __init__(
+        self,
+        backend,
+        queue_depth: int = 1024,
+        batch_size: int = 32,
+        deadline_seconds: float | None = None,
+        cost_model: CostModel | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        self._backend = backend
+        self._queue_depth = queue_depth
+        self._batch_size = batch_size
+        self._deadline = deadline_seconds
+        self._dispatch_seconds = (cost_model or DEFAULT_COST_MODEL).t_hop
+        self._metrics = metrics
+
+    # -- entry points --------------------------------------------------
+    def run_open(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        arrivals: Sequence[float],
+    ) -> ServeReport:
+        """Open-loop run: requests arrive at the given times whether or
+        not the server keeps up (this is where shedding happens)."""
+        if len(pairs) != len(arrivals):
+            raise ValueError("need one arrival time per pair")
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("arrival times must be non-decreasing")
+        return self._run("open", pairs, arrivals)
+
+    def run_closed(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        clients: int = 8,
+        think_seconds: float = 0.0,
+    ) -> ServeReport:
+        """Closed-loop run: ``clients`` concurrent clients each issue
+        their next request ``think_seconds`` after the previous answer.
+
+        Offered load self-limits at ``clients / (latency + think)``, so
+        nothing is shed; the in-flight population is bounded by
+        ``clients``.  Batching still applies when several clients are
+        ready at once.
+        """
+        if clients < 1:
+            raise ValueError("need at least one client")
+        if think_seconds < 0:
+            raise ValueError("think_seconds must be non-negative")
+        return self._run(
+            "closed", pairs, None, clients=clients, think_seconds=think_seconds
+        )
+
+    # -- the serving loop ----------------------------------------------
+    def _run(
+        self,
+        mode: str,
+        pairs: Sequence[tuple[int, int]],
+        arrivals: Sequence[float] | None,
+        clients: int = 0,
+        think_seconds: float = 0.0,
+    ) -> ServeReport:
+        backend = self._backend
+        deadline = self._deadline
+        queue: deque[tuple[int, float]] = deque()  # (pair index, arrival)
+        latencies: list[float] = []
+        clock = 0.0
+        shed = deadline_dropped = served = positives = batches = 0
+        queue_peak = 0
+        n = len(pairs)
+        next_request = 0
+        # Closed loop: a heap of client-ready times replaces the
+        # arrival list; a client re-arms when its answer comes back.
+        ready: list[float] = [0.0] * clients if mode == "closed" else []
+        if ready:
+            heapq.heapify(ready)
+
+        def next_arrival() -> float | None:
+            """When the next request materializes (None: none pending).
+
+            Open loop reads the arrival schedule; closed loop peeks the
+            earliest ready client — every client may be in flight, in
+            which case nothing can arrive until a batch completes.
+            """
+            if arrivals is not None:
+                return arrivals[next_request]
+            return ready[0] if ready else None
+
+        with trace_span("serve.run", mode=mode, offered=n) as span:
+            while next_request < n or queue:
+                if not queue:
+                    clock = max(clock, next_arrival())
+                # Admit everything that has arrived by now.
+                while next_request < n:
+                    arrival = next_arrival()
+                    if arrival is None or arrival > clock:
+                        break
+                    if mode == "closed":
+                        arrived = heapq.heappop(ready)
+                    else:
+                        arrived = arrivals[next_request]
+                    if len(queue) >= self._queue_depth:
+                        shed += 1
+                        if mode == "closed":  # the client retries at once
+                            heapq.heappush(ready, clock)
+                    else:
+                        queue.append((next_request, arrived))
+                    next_request += 1
+                queue_peak = max(queue_peak, len(queue))
+                # Dequeue one batch, dropping requests past deadline.
+                batch: list[tuple[int, float]] = []
+                while queue and len(batch) < self._batch_size:
+                    k, arrived = queue.popleft()
+                    if deadline is not None and clock - arrived > deadline:
+                        deadline_dropped += 1
+                        if mode == "closed":
+                            heapq.heappush(ready, clock + think_seconds)
+                        continue
+                    batch.append((k, arrived))
+                if not batch:
+                    continue
+                batches += 1
+                clock += self._dispatch_seconds
+                for k, arrived in batch:
+                    answer, seconds = backend.query_with_cost(*pairs[k])
+                    clock += seconds
+                    positives += answer
+                    served += 1
+                    latencies.append(clock - arrived)
+                    if mode == "closed":
+                        heapq.heappush(ready, clock + think_seconds)
+            span.set(served=served, shed=shed)
+            span.add_simulated(clock)
+
+        latencies.sort()
+        report = ServeReport(
+            mode=mode,
+            offered=n,
+            served=served,
+            shed=shed,
+            deadline_dropped=deadline_dropped,
+            positives=positives,
+            batches=batches,
+            queue_peak=queue_peak,
+            makespan_seconds=clock,
+            mean_seconds=sum(latencies) / len(latencies) if latencies else 0.0,
+            p50_seconds=_percentile(latencies, 0.50),
+            p99_seconds=_percentile(latencies, 0.99),
+            p999_seconds=_percentile(latencies, 0.999),
+            max_seconds=latencies[-1] if latencies else 0.0,
+            **self._backend_stats(),
+        )
+        self._record_metrics(report, latencies)
+        return report
+
+    def _backend_stats(self) -> dict:
+        """Cache/shard/degradation numbers pulled off the backend chain."""
+        stats: dict = {}
+        for layer in _chain(self._backend):
+            cache = getattr(layer, "cache", None)
+            if cache is not None and "cache_hits" not in stats:
+                stats.update(
+                    cache_hits=cache.hits,
+                    cache_misses=cache.misses,
+                    cache_invalidated=cache.invalidated,
+                    cache_evictions=cache.evictions,
+                )
+            store = getattr(layer, "store", None)
+            if store is not None and "shard_loads" not in stats:
+                stats.update(
+                    shard_loads=store.shard_loads(),
+                    shard_skew=store.load_skew(),
+                )
+            if getattr(layer, "degraded", False):
+                stats.update(
+                    degraded=True,
+                    fallback_queries=getattr(layer, "fallback_queries", 0),
+                )
+        return stats
+
+    def _record_metrics(self, report: ServeReport, latencies: list[float]) -> None:
+        registry = self._metrics
+        if registry is None:
+            registry = current_metrics() if enabled() else None
+        if registry is None:
+            return
+        registry.counter("serve.requests").inc(report.offered)
+        registry.counter("serve.served").inc(report.served)
+        registry.counter("serve.shed").inc(report.shed)
+        registry.counter("serve.deadline_dropped").inc(report.deadline_dropped)
+        registry.counter("serve.batches").inc(report.batches)
+        registry.gauge("serve.queue_peak").set(report.queue_peak)
+        histogram = registry.histogram("serve.latency_seconds", LATENCY_BUCKETS)
+        for latency in latencies:
+            histogram.observe(latency)
+        if report.cache_hits or report.cache_misses:
+            registry.counter("serve.cache.hits").inc(report.cache_hits)
+            registry.counter("serve.cache.misses").inc(report.cache_misses)
+            registry.counter("serve.cache.invalidated").inc(report.cache_invalidated)
+            registry.counter("serve.cache.evictions").inc(report.cache_evictions)
+        if report.shard_loads:
+            registry.gauge("serve.shard_skew").set(report.shard_skew)
+        registry.gauge("serve.degraded").set(int(report.degraded))

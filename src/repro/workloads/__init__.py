@@ -12,17 +12,27 @@ from repro.workloads.queries import (
     positive_pairs,
     random_pairs,
 )
+from repro.workloads.traffic import (
+    ZipfSampler,
+    poisson_arrivals,
+    uniform_arrivals,
+    zipf_pairs,
+)
 from repro.workloads.updates import apply_stream, update_stream
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
     "MEDIUM_DATASETS",
+    "ZipfSampler",
     "apply_stream",
     "balanced_pairs",
     "get_dataset",
     "negative_pairs",
+    "poisson_arrivals",
     "positive_pairs",
     "random_pairs",
+    "uniform_arrivals",
     "update_stream",
+    "zipf_pairs",
 ]
