@@ -16,7 +16,11 @@ Commands
 - ``fuzz`` — differential fuzzing of the index builders against the
   oracle matrix, with failure shrinking and ``--replay`` of saved
   repros (see ``docs/paper_mapping.md``, "Fuzzing oracles").
-- ``trace`` — summarize a JSONL telemetry trace.
+- ``trace`` — summarize a JSONL telemetry trace; ``--slowest N`` and
+  ``--trace-id ID`` drill into per-request traces.
+- ``top`` — live serving dashboard over a trace's ``serve.request``
+  events (``--once --json`` for scripting, ``--slo`` for burn-rate
+  alerts).
 - ``profile`` — skew/straggler analysis of a JSONL trace, with
   optional Chrome-trace (Perfetto) and flamegraph export.
 
@@ -292,6 +296,61 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--supersteps", type=int, default=20,
         help="super-step rows to show (default 20)",
+    )
+    trace.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="print only the request trace(s) with this trace ID",
+    )
+    trace.add_argument(
+        "--slowest", type=int, default=None, metavar="N",
+        help="print the N slowest request traces with per-stage breakdown",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live serving dashboard over a JSONL trace",
+        description="Read the serve.request events of a trace and show "
+        "throughput, latency percentiles, hit/shed rates, per-shard "
+        "traffic, rolling windows with hot-key and regression flags, "
+        "SLO burn-rate alerts, and the worst request traces.  Without "
+        "--once the dashboard re-reads the file and refreshes until "
+        "interrupted; --once --json prints one machine-readable "
+        "snapshot (see docs/observability.md).",
+    )
+    top.add_argument("file", type=Path)
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit instead of live-refreshing",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="with --once: print the snapshot as JSON",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=2.0, metavar="SECONDS",
+        help="live-mode refresh interval (default 2s)",
+    )
+    top.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="window length in simulated seconds (default: span / 12)",
+    )
+    top.add_argument(
+        "--slo", type=Path, default=None, metavar="SPEC",
+        help="evaluate the SLO specs in this JSON file (see "
+        "docs/observability.md)",
+    )
+    top.add_argument(
+        "--fail-on-alert", action="store_true",
+        help="exit 1 when any SLO burn-rate alert is firing",
+    )
+    top.add_argument(
+        "--slowest", type=int, default=5, metavar="N",
+        help="worst request traces to show (default 5)",
+    )
+    top.add_argument(
+        "--run", type=int, default=None, metavar="N",
+        help="select the N-th serving run in the file (1-based; "
+        "default: aggregate all runs)",
     )
 
     profile = sub.add_parser(
@@ -779,13 +838,113 @@ def _read_trace_tolerantly(path: Path):
 
 
 def _cmd_trace(args) -> int:
-    from repro.telemetry.report import summarize_trace
+    from repro.telemetry.report import (
+        find_request_traces,
+        format_request_trace,
+        slowest_requests_section,
+        summarize_trace,
+    )
 
     records, exit_code = _read_trace_tolerantly(args.file)
     if records is None:
         return exit_code
+    if args.trace_id is not None:
+        matches = find_request_traces(records, args.trace_id)
+        if not matches:
+            print(f"error: no request trace with ID {args.trace_id!r} "
+                  f"in {args.file}", file=sys.stderr)
+            return 1
+        for attrs in matches:
+            print(format_request_trace(attrs))
+        return exit_code
+    if args.slowest is not None:
+        section = slowest_requests_section(records, args.slowest)
+        if section is None:
+            print(f"error: no served request traces in {args.file}",
+                  file=sys.stderr)
+            return 1
+        print(section)
+        return exit_code
     print(summarize_trace(records, top=args.top, superstep_limit=args.supersteps))
     return exit_code
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.observe.dashboard import DashboardModel
+    from repro.observe.slo import load_slo_specs
+
+    if args.json and not args.once:
+        print("error: --json needs --once", file=sys.stderr)
+        return 2
+    specs = None
+    if args.slo is not None:
+        if not args.slo.exists():
+            print(f"error: no such file: {args.slo}", file=sys.stderr)
+            return 2
+        try:
+            specs = load_slo_specs(args.slo)
+        except (ValueError, OSError) as exc:
+            print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
+
+    def build_model():
+        records, exit_code = _read_trace_tolerantly(args.file)
+        if records is None:
+            return None, exit_code
+        try:
+            model = DashboardModel.from_records(
+                records,
+                run=args.run,
+                window_seconds=args.window,
+                specs=specs,
+                slowest=args.slowest,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None, 2
+        return model, exit_code
+
+    if args.once:
+        model, exit_code = build_model()
+        if model is None:
+            return exit_code
+        if not model.requests:
+            print(f"error: no request traces in {args.file} "
+                  "(run serve-bench with --trace-out)", file=sys.stderr)
+            return 1
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(model.to_json(), indent=2))
+        else:
+            print(model.render())
+        if args.fail_on_alert and model.firing_alerts:
+            for alert in model.firing_alerts:
+                print(
+                    f"ALERT[{alert['severity']}] {alert['slo']}: "
+                    f"burn {alert['long_burn']:.1f}x/"
+                    f"{alert['short_burn']:.1f}x > "
+                    f"{alert['burn_threshold']:.1f}x",
+                    file=sys.stderr,
+                )
+            return 1
+        return exit_code
+    # Live mode: re-read and re-render until interrupted.
+    try:
+        while True:
+            model, exit_code = build_model()
+            if model is None:
+                return exit_code
+            # ANSI clear + home, then the fresh frame.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(model.render())
+            print(f"\n(refreshing every {args.refresh:g}s — Ctrl-C to exit)")
+            sys.stdout.flush()
+            time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_profile(args) -> int:
@@ -821,6 +980,7 @@ _HANDLERS = {
     "serve-bench": _cmd_serve_bench,
     "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "profile": _cmd_profile,
 }
 

@@ -1,0 +1,83 @@
+"""Observability for the serving path: tracing, windows, SLOs, dashboard.
+
+This package turns the flat telemetry layer (:mod:`repro.telemetry`)
+into request-level and operator-level answers:
+
+- :mod:`repro.observe.tracing` — request-scoped causal tracing: a
+  trace ID per admitted query, per-stage child spans (admission →
+  cache → store → backend/fallback), terminal events for shed and
+  deadline-dropped requests;
+- :mod:`repro.observe.windows` — rolling-window aggregation of
+  cumulative metrics (deltas, rates, EWMA) plus hot-key and
+  latency-regression detectors;
+- :mod:`repro.observe.slo` — declarative SLO specs with error-budget
+  accounting and multi-window burn-rate alerts;
+- :mod:`repro.observe.dashboard` — the ``repro top`` model: a full
+  dashboard (throughput, percentiles, hit/shed rates, shard traffic,
+  alerts, worst traces) computed from an exported JSONL trace.
+
+Nothing here imports from :mod:`repro.serve`; the serving pipeline
+imports *this* package, keeping the dependency one-way.
+"""
+
+from repro.observe.dashboard import (
+    DashboardModel,
+    RequestRecord,
+    WindowRow,
+    format_request,
+    requests_from_records,
+)
+from repro.observe.slo import (
+    BurnRate,
+    BurnWindow,
+    SLOSpec,
+    SLOStatus,
+    default_windows,
+    evaluate_slo,
+    evaluate_slos,
+    load_slo_specs,
+)
+from repro.observe.tracing import (
+    RequestTrace,
+    StageSpan,
+    TraceIdGenerator,
+    add_stage,
+    begin_request,
+    current_request,
+    end_request,
+)
+from repro.observe.windows import (
+    HotKey,
+    HotKeyDetector,
+    LatencyRegressionDetector,
+    RollingAggregator,
+    WindowSnapshot,
+)
+
+__all__ = [
+    "BurnRate",
+    "BurnWindow",
+    "DashboardModel",
+    "HotKey",
+    "HotKeyDetector",
+    "LatencyRegressionDetector",
+    "RequestRecord",
+    "RequestTrace",
+    "RollingAggregator",
+    "SLOSpec",
+    "SLOStatus",
+    "StageSpan",
+    "TraceIdGenerator",
+    "WindowRow",
+    "WindowSnapshot",
+    "add_stage",
+    "begin_request",
+    "current_request",
+    "default_windows",
+    "end_request",
+    "evaluate_slo",
+    "evaluate_slos",
+    "format_request",
+    "load_slo_specs",
+    "requests_from_records",
+]

@@ -1,0 +1,505 @@
+"""The ``repro top`` dashboard: one serving run at a glance.
+
+Builds a :class:`DashboardModel` from an exported JSONL trace — the
+``serve.request`` events written by
+:class:`~repro.serve.pipeline.QueryServer` under a telemetry session —
+and renders it as a live-refreshing console dashboard or a single JSON
+snapshot (``--once --json``) for scripting.
+
+The model recomputes throughput, latency percentiles, and the cache
+hit rate with exactly the arithmetic
+:class:`~repro.serve.pipeline.ServeReport` uses (nearest-rank
+percentiles over served latencies), so the dashboard and the bench
+report agree to the float on a single-run trace.  On top of the run
+totals it layers the window machinery from
+:mod:`repro.observe.windows` (per-window rates, p99, hot pairs,
+latency-regression flags) and, given specs, the SLO engine from
+:mod:`repro.observe.slo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observe.slo import SLOSpec, SLOStatus, evaluate_slos
+from repro.observe.tracing import SERVER_STAGES
+from repro.observe.windows import (
+    HotKey,
+    HotKeyDetector,
+    LatencyRegressionDetector,
+    RollingAggregator,
+)
+
+#: Default number of windows the run's span is divided into.
+DEFAULT_WINDOW_COUNT = 12
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile, identical to the serve pipeline's."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One ``serve.request`` event, parsed."""
+
+    trace_id: str
+    source: int
+    target: int
+    arrival: float
+    outcome: str
+    latency_seconds: float
+    reason: str | None
+    stages: tuple[dict, ...]
+    run: int | None  # the serve.run span id grouping this request
+
+    def stage(self, name: str) -> dict | None:
+        """The first stage with the given name, if recorded."""
+        for stage in self.stages:
+            if stage.get("stage") == name:
+                return stage
+        return None
+
+    def stage_names(self) -> list[str]:
+        return [s.get("stage", "?") for s in self.stages]
+
+
+def requests_from_records(records) -> list[RequestRecord]:
+    """Parse every ``serve.request`` event out of a record stream."""
+    requests: list[RequestRecord] = []
+    for record in records:
+        if record.get("kind") != "event" or record.get("name") != "serve.request":
+            continue
+        attrs = record.get("attrs", {})
+        if "trace_id" not in attrs:
+            continue
+        requests.append(
+            RequestRecord(
+                trace_id=attrs["trace_id"],
+                source=attrs.get("source", -1),
+                target=attrs.get("target", -1),
+                arrival=attrs.get("arrival", 0.0),
+                outcome=attrs.get("outcome", "?"),
+                latency_seconds=attrs.get("latency_seconds", 0.0),
+                reason=attrs.get("reason"),
+                stages=tuple(attrs.get("stages", ())),
+                run=record.get("span"),
+            )
+        )
+    return requests
+
+
+@dataclass
+class WindowRow:
+    """One dashboard window: traffic, tail latency, detector flags."""
+
+    index: int
+    start: float
+    end: float
+    offered: int = 0
+    served: int = 0
+    shed: int = 0
+    deadline_dropped: int = 0
+    p99_seconds: float = 0.0
+    rate: float = 0.0           # served per simulated second
+    ewma_rate: float = 0.0
+    regression: bool = False
+    hot_keys: list[HotKey] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "deadline_dropped": self.deadline_dropped,
+            "p99_seconds": self.p99_seconds,
+            "rate": self.rate,
+            "ewma_rate": self.ewma_rate,
+            "regression": self.regression,
+            "hot_keys": [
+                {"key": list(h.key), "count": h.count, "share": h.share}
+                for h in self.hot_keys
+            ],
+        }
+
+
+@dataclass
+class DashboardModel:
+    """Everything ``repro top`` shows, computed once from a trace."""
+
+    requests: list[RequestRecord]
+    runs: int
+    offered: int
+    served: int
+    shed: int
+    deadline_dropped: int
+    positives: int
+    makespan_seconds: float
+    latencies: list[float]  # served, sorted
+    cache_hits: int
+    cache_misses: int
+    store_fetches: int
+    remote_fetches: int
+    shard_loads: dict[int, int]
+    stage_counts: dict[str, int]
+    traced_fraction: float
+    windows: list[WindowRow]
+    worst: list[RequestRecord]
+    slos: list[SLOStatus]
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records,
+        *,
+        run: int | None = None,
+        window_seconds: float | None = None,
+        window_count: int = DEFAULT_WINDOW_COUNT,
+        specs: list[SLOSpec] | None = None,
+        slowest: int = 5,
+        hot_share: float = 0.05,
+        regression_factor: float = 2.0,
+    ) -> "DashboardModel":
+        """Build the model from raw trace records.
+
+        ``run`` selects the n-th serving run in the file (1-based, in
+        order of appearance) when one trace holds several — e.g.
+        serve-bench's cached and uncached rows; the default aggregates
+        them all.
+        """
+        requests = requests_from_records(records)
+        run_ids: list = []
+        for request in requests:
+            if request.run not in run_ids:
+                run_ids.append(request.run)
+        if run is not None:
+            if not 1 <= run <= len(run_ids):
+                raise ValueError(
+                    f"trace holds {len(run_ids)} serving run(s); "
+                    f"--run {run} is out of range"
+                )
+            wanted = run_ids[run - 1]
+            requests = [r for r in requests if r.run == wanted]
+            runs = 1
+        else:
+            runs = len(run_ids)
+
+        served_requests = [r for r in requests if r.outcome == "served"]
+        shed = sum(1 for r in requests if r.outcome == "shed")
+        deadline_dropped = sum(1 for r in requests if r.outcome == "deadline")
+        latencies = sorted(r.latency_seconds for r in served_requests)
+        makespan = max(
+            (r.arrival + r.latency_seconds for r in served_requests),
+            default=max((r.arrival for r in requests), default=0.0),
+        )
+
+        cache_hits = cache_misses = store_fetches = remote_fetches = 0
+        positives = 0
+        shard_loads: dict[int, int] = {}
+        stage_counts: dict[str, int] = {}
+        fully_traced = 0
+        server_stages = set(SERVER_STAGES)
+        for request in requests:
+            seen = set()
+            for stage in request.stages:
+                name = stage.get("stage", "?")
+                seen.add(name)
+                stage_counts[name] = stage_counts.get(name, 0) + 1
+                if name == "cache":
+                    if stage.get("hit"):
+                        cache_hits += 1
+                    else:
+                        cache_misses += 1
+                elif name == "store":
+                    store_fetches += 1
+                    home = stage.get("home")
+                    if home is not None:
+                        shard_loads[home] = shard_loads.get(home, 0) + 1
+                    remote = stage.get("remote")
+                    if remote is not None:
+                        remote_fetches += 1
+                        shard_loads[remote] = shard_loads.get(remote, 0) + 1
+                elif name == "backend" and stage.get("answer"):
+                    positives += 1
+            if request.outcome == "served" and server_stages <= seen:
+                fully_traced += 1
+        traced_fraction = (
+            fully_traced / len(served_requests) if served_requests else 0.0
+        )
+
+        windows = cls._build_windows(
+            requests,
+            makespan,
+            window_seconds,
+            window_count,
+            hot_share,
+            regression_factor,
+        )
+        worst = sorted(
+            served_requests, key=lambda r: (-r.latency_seconds, r.trace_id)
+        )[: max(slowest, 0)]
+        # SLO burn windows end at the latest *arrival* (the timeline
+        # requests live on), not the makespan: the server may finish
+        # draining long after the last request arrived, and a burn
+        # window past the arrivals would always be empty.
+        slos = evaluate_slos(specs, requests) if specs else []
+
+        return cls(
+            requests=requests,
+            runs=runs,
+            offered=len(requests),
+            served=len(served_requests),
+            shed=shed,
+            deadline_dropped=deadline_dropped,
+            positives=positives,
+            makespan_seconds=makespan,
+            latencies=latencies,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            store_fetches=store_fetches,
+            remote_fetches=remote_fetches,
+            shard_loads=shard_loads,
+            stage_counts=stage_counts,
+            traced_fraction=traced_fraction,
+            windows=windows,
+            worst=worst,
+            slos=slos,
+        )
+
+    @staticmethod
+    def _build_windows(
+        requests: list[RequestRecord],
+        makespan: float,
+        window_seconds: float | None,
+        window_count: int,
+        hot_share: float,
+        regression_factor: float,
+    ) -> list[WindowRow]:
+        if not requests or makespan <= 0:
+            return []
+        start = min(r.arrival for r in requests)
+        span = makespan - start
+        if span <= 0:
+            return []
+        if window_seconds is None or window_seconds <= 0:
+            window_seconds = span / window_count
+        count = max(1, -(-span // window_seconds).__int__())
+        rows = [
+            WindowRow(
+                index=i,
+                start=start + i * window_seconds,
+                end=min(start + (i + 1) * window_seconds, makespan),
+            )
+            for i in range(count)
+        ]
+        buckets: list[list[RequestRecord]] = [[] for _ in rows]
+        for request in requests:
+            i = min(int((request.arrival - start) / window_seconds), count - 1)
+            buckets[i].append(request)
+        aggregator = RollingAggregator()
+        regressions = LatencyRegressionDetector(factor=regression_factor)
+        hot = HotKeyDetector(share_threshold=hot_share)
+        cumulative_served = 0
+        for row, bucket in zip(rows, buckets):
+            row.offered = len(bucket)
+            window_latencies = sorted(
+                r.latency_seconds for r in bucket if r.outcome == "served"
+            )
+            row.served = len(window_latencies)
+            row.shed = sum(1 for r in bucket if r.outcome == "shed")
+            row.deadline_dropped = sum(
+                1 for r in bucket if r.outcome == "deadline"
+            )
+            row.p99_seconds = _percentile(window_latencies, 0.99)
+            cumulative_served += row.served
+            snapshot = aggregator.step(row.end, {"served": cumulative_served})
+            row.rate = snapshot.rates.get("served", 0.0)
+            row.ewma_rate = snapshot.ewma_rates.get("served", 0.0)
+            row.regression = (
+                regressions.observe(row.p99_seconds) if window_latencies else False
+            )
+            pair_counts: dict[tuple[int, int], int] = {}
+            for request in bucket:
+                key = (request.source, request.target)
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+            row.hot_keys = hot.observe(pair_counts)
+        return rows
+
+    # -- derived numbers ----------------------------------------------
+    @property
+    def throughput(self) -> float:
+        if not self.makespan_seconds:
+            return 0.0
+        return self.served / self.makespan_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        return _percentile(self.latencies, fraction)
+
+    @property
+    def firing_alerts(self) -> list[dict]:
+        alerts = []
+        for status in self.slos:
+            for burn in status.firing:
+                alerts.append(
+                    {
+                        "slo": status.spec.name,
+                        "severity": burn.window.severity,
+                        "long_burn": burn.long_burn,
+                        "short_burn": burn.short_burn,
+                        "burn_threshold": burn.window.burn_threshold,
+                    }
+                )
+        return alerts
+
+    # -- output --------------------------------------------------------
+    def to_json(self) -> dict:
+        """The ``repro top --once --json`` payload."""
+        return {
+            "runs": self.runs,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "deadline_dropped": self.deadline_dropped,
+            "positives": self.positives,
+            "makespan_seconds": self.makespan_seconds,
+            "throughput": self.throughput,
+            "p50_seconds": self.percentile(0.50),
+            "p99_seconds": self.percentile(0.99),
+            "p999_seconds": self.percentile(0.999),
+            "max_seconds": self.latencies[-1] if self.latencies else 0.0,
+            "hit_rate": self.cache_hit_rate,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "shed_rate": self.shed_rate,
+            "store_fetches": self.store_fetches,
+            "remote_fetches": self.remote_fetches,
+            "shard_loads": {
+                str(shard): count
+                for shard, count in sorted(self.shard_loads.items())
+            },
+            "stage_counts": dict(sorted(self.stage_counts.items())),
+            "traced_fraction": self.traced_fraction,
+            "windows": [w.to_dict() for w in self.windows],
+            "slos": [s.to_dict() for s in self.slos],
+            "alerts": self.firing_alerts,
+            "worst": [
+                {
+                    "trace_id": r.trace_id,
+                    "source": r.source,
+                    "target": r.target,
+                    "latency_seconds": r.latency_seconds,
+                    "stages": list(r.stages),
+                }
+                for r in self.worst
+            ],
+        }
+
+    def render(self) -> str:
+        """The console dashboard."""
+        lines = [
+            f"serve dashboard — {self.offered} requests"
+            + (f" across {self.runs} runs" if self.runs > 1 else ""),
+            f"  throughput {self.throughput:,.0f} q/s over "
+            f"{self.makespan_seconds:.3e} s",
+            f"  served {self.served}/{self.offered} "
+            f"({1 - self.shed_rate - (self.deadline_dropped / self.offered if self.offered else 0):.1%})"
+            f"   shed {self.shed} ({self.shed_rate:.1%})"
+            f"   deadline {self.deadline_dropped}",
+            f"  latency p50 {self.percentile(0.50):.2e}s  "
+            f"p99 {self.percentile(0.99):.2e}s  "
+            f"p999 {self.percentile(0.999):.2e}s  "
+            f"max {(self.latencies[-1] if self.latencies else 0.0):.2e}s",
+        ]
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            lines.append(
+                f"  cache {self.cache_hit_rate:.1%} hit "
+                f"({self.cache_hits} hits / {self.cache_misses} misses)"
+            )
+        if self.shard_loads:
+            loads = [
+                f"s{shard}:{count}"
+                for shard, count in sorted(self.shard_loads.items())
+            ]
+            lines.append(
+                f"  shards: {self.store_fetches} fetches "
+                f"({self.remote_fetches} remote)  " + " ".join(loads)
+            )
+        lines.append(f"  traced: {self.traced_fraction:.1%} of served requests")
+
+        if self.windows:
+            lines.append("")
+            lines.append(
+                f"Windows ({len(self.windows)} x "
+                f"{self.windows[0].end - self.windows[0].start:.2e} s)"
+            )
+            lines.append(
+                "    # |  served |    shed |      q/s |      p99 | flags"
+            )
+            for row in self.windows:
+                flags = []
+                if row.regression:
+                    flags.append("REGRESSION")
+                for hot_key in row.hot_keys[:2]:
+                    flags.append(f"hot{hot_key.key}@{hot_key.share:.0%}")
+                lines.append(
+                    f"  {row.index:>3d} | {row.served:>7d} | {row.shed:>7d} | "
+                    f"{row.rate:>8.2e} | {row.p99_seconds:>8.2e} | "
+                    + (" ".join(flags) if flags else "-")
+                )
+
+        if self.slos:
+            lines.append("")
+            lines.append("SLOs")
+            for status in self.slos:
+                lines.append("  " + status.summary())
+
+        if self.worst:
+            lines.append("")
+            lines.append("Worst requests")
+            for request in self.worst:
+                lines.append("  " + format_request(request))
+        return "\n".join(lines)
+
+
+def format_request(request: RequestRecord) -> str:
+    """One request with its per-stage breakdown, as a single line."""
+    stages = []
+    for stage in request.stages:
+        extras = [
+            f"{key}={value}"
+            for key, value in stage.items()
+            if key not in ("stage", "seconds")
+        ]
+        text = f"{stage.get('stage', '?')} {stage.get('seconds', 0.0):.2e}s"
+        if extras:
+            text += " (" + " ".join(extras) + ")"
+        stages.append(text)
+    head = (
+        f"{request.trace_id}  q({request.source},{request.target})  "
+        f"{request.outcome}"
+    )
+    if request.reason:
+        head += f"[{request.reason}]"
+    head += f"  latency {request.latency_seconds:.2e}s"
+    if stages:
+        head += "  |  " + " -> ".join(stages)
+    return head

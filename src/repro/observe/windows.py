@@ -1,0 +1,203 @@
+"""Rolling-window aggregation over flat metric snapshots.
+
+A :class:`~repro.telemetry.metrics.MetricsRegistry` is cumulative: at
+any instant it answers "how many requests *so far*", never "how many
+in the last window" — which is the question every dashboard, SLO, and
+regression detector actually asks.  :class:`RollingAggregator` turns a
+sequence of cumulative snapshots into per-window views:
+
+- **deltas** — the change of every series across the window, with
+  counter resets (a value moving backwards, e.g. after a process
+  restart) detected and treated as "the counter restarted from zero";
+- **rates** — deltas divided by the window duration (zero for an
+  empty/instantaneous window);
+- **EWMA rates** — an exponentially weighted moving average of the
+  rates, the smoothed baseline the detectors compare against.
+
+Two detectors build on the windows:
+
+- :class:`HotKeyDetector` flags keys taking an outsized share of a
+  window's traffic (a Zipf hot pair, a hammered shard);
+- :class:`LatencyRegressionDetector` keeps an EWMA baseline of a
+  windowed percentile and flags windows that blow past it, without
+  polluting the baseline with the regression itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One window's view of the metric stream."""
+
+    index: int
+    start: float
+    end: float
+    values: dict[str, float]      # cumulative values at window end
+    deltas: dict[str, float]      # per-window change (reset-aware)
+    rates: dict[str, float]       # deltas / duration (0 when empty)
+    ewma_rates: dict[str, float]  # smoothed rates up to this window
+    resets: tuple[str, ...]       # series that moved backwards
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RollingAggregator:
+    """Turns cumulative snapshots into :class:`WindowSnapshot` windows.
+
+    Call :meth:`step` with a monotonically non-decreasing ``now`` and
+    the current cumulative values (e.g. ``registry.as_dict()``); each
+    call closes one window.  The first call establishes the baseline:
+    its window is instantaneous, its deltas are the values themselves.
+
+    Rates and EWMAs are meaningful for monotone (counter-like) series;
+    gauge-like series still get deltas, and a backwards move is
+    reported in ``resets`` rather than producing a negative rate.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._prev_values: dict[str, float] | None = None
+        self._prev_end: float | None = None
+        self._ewma: dict[str, float] = {}
+        self._index = 0
+
+    def step(self, now: float, values: Mapping[str, float]) -> WindowSnapshot:
+        """Close the window ending at ``now`` with cumulative ``values``."""
+        start = now if self._prev_end is None else self._prev_end
+        if now < start:
+            raise ValueError(
+                f"snapshot time went backwards: {now} < {start}"
+            )
+        previous = self._prev_values or {}
+        deltas: dict[str, float] = {}
+        resets: list[str] = []
+        for name, value in values.items():
+            before = previous.get(name, 0)
+            if value < before:
+                # Counter reset: the series restarted from zero, so the
+                # whole current value accrued inside this window.
+                deltas[name] = value
+                resets.append(name)
+            else:
+                deltas[name] = value - before
+        duration = now - start
+        if duration > 0:
+            rates = {name: delta / duration for name, delta in deltas.items()}
+            alpha = self.alpha
+            for name, rate in rates.items():
+                before = self._ewma.get(name)
+                self._ewma[name] = (
+                    rate if before is None else alpha * rate + (1 - alpha) * before
+                )
+        else:
+            # Empty/instantaneous window: no rate is defined, and the
+            # EWMA baseline must not be dragged toward zero by it.
+            rates = {name: 0.0 for name in deltas}
+        snapshot = WindowSnapshot(
+            index=self._index,
+            start=start,
+            end=now,
+            values=dict(values),
+            deltas=deltas,
+            rates=rates,
+            ewma_rates=dict(self._ewma),
+            resets=tuple(resets),
+        )
+        self._index += 1
+        self._prev_values = dict(values)
+        self._prev_end = now
+        return snapshot
+
+    def step_registry(self, now: float, registry) -> WindowSnapshot:
+        """Snapshot a live :class:`MetricsRegistry` (its flat view)."""
+        return self.step(now, registry.as_dict())
+
+
+@dataclass(frozen=True)
+class HotKey:
+    """One key flagged by :class:`HotKeyDetector`."""
+
+    key: object
+    count: int
+    share: float
+
+
+class HotKeyDetector:
+    """Flags keys taking an outsized share of one window's traffic.
+
+    A key is *hot* when it holds at least ``share_threshold`` of the
+    window's total count and at least ``min_count`` absolute hits (so
+    a two-request window cannot declare a 50% "hot key").
+    """
+
+    def __init__(self, share_threshold: float = 0.05, min_count: int = 10):
+        if not 0 < share_threshold <= 1:
+            raise ValueError("share_threshold must be in (0, 1]")
+        if min_count < 1:
+            raise ValueError("min_count must be positive")
+        self.share_threshold = share_threshold
+        self.min_count = min_count
+
+    def observe(self, counts: Mapping[object, int]) -> list[HotKey]:
+        """The hot keys of one window, hottest first (deterministic)."""
+        total = sum(counts.values())
+        if not total:
+            return []
+        hot = [
+            HotKey(key, count, count / total)
+            for key, count in counts.items()
+            if count >= self.min_count and count / total >= self.share_threshold
+        ]
+        hot.sort(key=lambda h: (-h.count, str(h.key)))
+        return hot
+
+
+class LatencyRegressionDetector:
+    """EWMA baseline over a windowed percentile; flags blow-ups.
+
+    Feed it one value per window (e.g. the window's p99).  After
+    ``warmup`` windows, a window whose value exceeds ``factor`` times
+    the baseline is flagged — and deliberately *not* folded into the
+    baseline, so a sustained regression keeps firing instead of
+    becoming the new normal.
+    """
+
+    def __init__(self, factor: float = 2.0, alpha: float = 0.3, warmup: int = 3):
+        if factor <= 1:
+            raise ValueError("factor must exceed 1")
+        if warmup < 1:
+            raise ValueError("warmup must be positive")
+        self.factor = factor
+        self.alpha = alpha
+        self.warmup = warmup
+        self._baseline: float | None = None
+        self._windows = 0
+
+    @property
+    def baseline(self) -> float | None:
+        """The current EWMA baseline (None before the first window)."""
+        return self._baseline
+
+    def observe(self, value: float) -> bool:
+        """Record one window's value; True when it is a regression."""
+        self._windows += 1
+        baseline = self._baseline
+        flagged = (
+            baseline is not None
+            and self._windows > self.warmup
+            and baseline > 0
+            and value > self.factor * baseline
+        )
+        if baseline is None:
+            self._baseline = value
+        elif not flagged:
+            self._baseline = self.alpha * value + (1 - self.alpha) * baseline
+        return flagged

@@ -10,6 +10,7 @@ from repro.baselines.grail import GrailIndex
 from repro.baselines.online import OnlineSearcher
 from repro.core.labels import ReachabilityIndex
 from repro.graph.digraph import DiGraph
+from repro.observe import tracing
 from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.telemetry import (
     LATENCY_BUCKETS,
@@ -194,7 +195,10 @@ class FallbackBackend:
         self.fallback_queries += 1
         if enabled():
             current_metrics().counter("query.fallback").inc()
-        return self._fallback.query_with_cost(s, t)
+        answer, seconds = self._fallback.query_with_cost(s, t)
+        if tracing.ACTIVE is not None:
+            tracing.ACTIVE.add_stage("fallback", seconds)
+        return answer, seconds
 
 
 @dataclass(frozen=True)

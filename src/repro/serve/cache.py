@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.observe import tracing
 from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
 
 
@@ -146,7 +147,11 @@ class CachingBackend:
     def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
         cached = self.cache.get(s, t)
         if cached is not None:
+            if tracing.ACTIVE is not None:
+                tracing.ACTIVE.add_stage("cache", self._probe_seconds, hit=True)
             return cached, self._probe_seconds
+        if tracing.ACTIVE is not None:
+            tracing.ACTIVE.add_stage("cache", self._probe_seconds, hit=False)
         answer, seconds = self.inner.query_with_cost(s, t)
         self.cache.put(s, t, answer)
         return answer, seconds + self._probe_seconds

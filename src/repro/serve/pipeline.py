@@ -36,12 +36,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.observe.tracing import (
+    RequestTrace,
+    TraceIdGenerator,
+    begin_request,
+    end_request,
+)
 from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
 from repro.telemetry import (
     LATENCY_BUCKETS,
     MetricsRegistry,
     current_metrics,
     enabled,
+    trace_event,
     trace_span,
 )
 
@@ -155,6 +162,12 @@ class QueryServer:
     metrics:
         Explicit registry for ``serve.*`` metrics; defaults to the
         active telemetry session's registry, if any.
+    request_tracing:
+        Per-request causal tracing (see :mod:`repro.observe.tracing`):
+        every request gets a trace ID and a ``serve.request`` event
+        with admission/cache/store/backend child stages.  ``None``
+        (the default) follows whether telemetry is enabled; ``False``
+        forces it off so the hot path allocates nothing per request.
     """
 
     def __init__(
@@ -165,6 +178,7 @@ class QueryServer:
         deadline_seconds: float | None = None,
         cost_model: CostModel | None = None,
         metrics: MetricsRegistry | None = None,
+        request_tracing: bool | None = None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -178,6 +192,7 @@ class QueryServer:
         self._deadline = deadline_seconds
         self._dispatch_seconds = (cost_model or DEFAULT_COST_MODEL).t_hop
         self._metrics = metrics
+        self._request_tracing = request_tracing
 
     # -- entry points --------------------------------------------------
     def run_open(
@@ -233,6 +248,17 @@ class QueryServer:
         queue_peak = 0
         n = len(pairs)
         next_request = 0
+        # Request tracing: off by default unless telemetry is on, and
+        # forceable either way.  When off, the loop below touches none
+        # of this — no per-request allocation at all.
+        tracing = (
+            self._request_tracing
+            if self._request_tracing is not None
+            else enabled()
+        )
+        trace_ids = TraceIdGenerator() if tracing else None
+        traces: dict[int, RequestTrace] = {}
+        exemplars: list[tuple[float, str]] = []  # (latency, trace id)
         # Closed loop: a heap of client-ready times replaces the
         # arrival list; a client re-arms when its answer comes back.
         ready: list[float] = [0.0] * clients if mode == "closed" else []
@@ -265,10 +291,24 @@ class QueryServer:
                         arrived = arrivals[next_request]
                     if len(queue) >= self._queue_depth:
                         shed += 1
+                        if tracing:
+                            # Shed requests leave a terminal trace too:
+                            # the drop reason is part of the record.
+                            source, target = pairs[next_request]
+                            dropped = RequestTrace(
+                                trace_ids.next_id(), source, target, arrived
+                            )
+                            dropped.finish("shed", reason="queue_full")
+                            trace_event("serve.request", **dropped.to_attrs())
                         if mode == "closed":  # the client retries at once
                             heapq.heappush(ready, clock)
                     else:
                         queue.append((next_request, arrived))
+                        if tracing:
+                            source, target = pairs[next_request]
+                            traces[next_request] = RequestTrace(
+                                trace_ids.next_id(), source, target, arrived
+                            )
                     next_request += 1
                 queue_peak = max(queue_peak, len(queue))
                 # Dequeue one batch, dropping requests past deadline.
@@ -277,6 +317,13 @@ class QueryServer:
                     k, arrived = queue.popleft()
                     if deadline is not None and clock - arrived > deadline:
                         deadline_dropped += 1
+                        if tracing:
+                            expired = traces.pop(k)
+                            expired.add_stage("admission", clock - arrived)
+                            expired.finish(
+                                "deadline", clock - arrived, reason="deadline"
+                            )
+                            trace_event("serve.request", **expired.to_attrs())
                         if mode == "closed":
                             heapq.heappush(ready, clock + think_seconds)
                         continue
@@ -284,13 +331,29 @@ class QueryServer:
                 if not batch:
                     continue
                 batches += 1
+                dequeued_at = clock
                 clock += self._dispatch_seconds
                 for k, arrived in batch:
-                    answer, seconds = backend.query_with_cost(*pairs[k])
+                    if tracing:
+                        trace = traces.pop(k)
+                        trace.add_stage("admission", dequeued_at - arrived)
+                        begin_request(trace)
+                        try:
+                            answer, seconds = backend.query_with_cost(*pairs[k])
+                        finally:
+                            end_request()
+                        trace.add_stage("backend", seconds, answer=bool(answer))
+                    else:
+                        answer, seconds = backend.query_with_cost(*pairs[k])
                     clock += seconds
                     positives += answer
                     served += 1
-                    latencies.append(clock - arrived)
+                    latency = clock - arrived
+                    latencies.append(latency)
+                    if tracing:
+                        trace.finish("served", latency)
+                        trace_event("serve.request", **trace.to_attrs())
+                        exemplars.append((latency, trace.trace_id))
                     if mode == "closed":
                         heapq.heappush(ready, clock + think_seconds)
             span.set(served=served, shed=shed)
@@ -314,7 +377,7 @@ class QueryServer:
             max_seconds=latencies[-1] if latencies else 0.0,
             **self._backend_stats(),
         )
-        self._record_metrics(report, latencies)
+        self._record_metrics(report, latencies, exemplars)
         return report
 
     def _backend_stats(self) -> dict:
@@ -342,7 +405,12 @@ class QueryServer:
                 )
         return stats
 
-    def _record_metrics(self, report: ServeReport, latencies: list[float]) -> None:
+    def _record_metrics(
+        self,
+        report: ServeReport,
+        latencies: list[float],
+        exemplars: list[tuple[float, str]] = (),
+    ) -> None:
         registry = self._metrics
         if registry is None:
             registry = current_metrics() if enabled() else None
@@ -352,11 +420,23 @@ class QueryServer:
         registry.counter("serve.served").inc(report.served)
         registry.counter("serve.shed").inc(report.shed)
         registry.counter("serve.deadline_dropped").inc(report.deadline_dropped)
+        if report.shed:
+            registry.counter("serve.dropped.queue_full").inc(report.shed)
+        if report.deadline_dropped:
+            registry.counter("serve.dropped.deadline").inc(
+                report.deadline_dropped
+            )
         registry.counter("serve.batches").inc(report.batches)
         registry.gauge("serve.queue_peak").set(report.queue_peak)
         histogram = registry.histogram("serve.latency_seconds", LATENCY_BUCKETS)
-        for latency in latencies:
-            histogram.observe(latency)
+        if exemplars:
+            # Traced runs attach trace-ID exemplars to the buckets, so
+            # any latency bucket links back to concrete requests.
+            for latency, trace_id in exemplars:
+                histogram.observe(latency, exemplar=trace_id)
+        else:
+            for latency in latencies:
+                histogram.observe(latency)
         if report.cache_hits or report.cache_misses:
             registry.counter("serve.cache.hits").inc(report.cache_hits)
             registry.counter("serve.cache.misses").inc(report.cache_misses)

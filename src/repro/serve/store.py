@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.core.labels import ReachabilityIndex
 from repro.graph.partition import HashPartitioner, Partitioner
+from repro.observe import tracing
 from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
 
 
@@ -153,6 +154,11 @@ class ShardedLabelStore:
         if target_shard != home:
             self.shards[target_shard].requests += 1
             seconds += cost.t_hop + len(in_labels) * cost.entry_bytes * cost.t_byte
+        if tracing.ACTIVE is not None:
+            attrs = {"home": home, "entries": len(out_labels) + len(in_labels)}
+            if target_shard != home:
+                attrs["remote"] = target_shard
+            tracing.ACTIVE.add_stage("store", seconds, **attrs)
         return self._index.query(s, t), seconds
 
 

@@ -15,6 +15,7 @@ the paper's Exps ask, and documented as estimates in
 
 from __future__ import annotations
 
+import random
 from bisect import bisect_left
 from typing import Iterator, Sequence
 
@@ -119,13 +120,31 @@ class Histogram:
 
     ``buckets`` are inclusive upper bounds; observations above the last
     bound land in an implicit overflow bucket.
+
+    Observations may carry an **exemplar** — an opaque label, typically
+    a trace ID — and each bucket keeps a bounded reservoir sample of
+    the exemplars that landed in it (Prometheus's exemplar pattern), so
+    a latency bucket links back to concrete requests.  The reservoir is
+    seeded, so the same observation sequence always keeps the same
+    exemplars.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "buckets", "counts", "count", "total", "min", "max",
+        "exemplar_slots", "_exemplar_rng", "_exemplars", "_exemplar_seen",
+    )
 
-    def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        exemplar_slots: int = 2,
+        exemplar_seed: int = 0,
+    ):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("buckets must be a non-empty ascending sequence")
+        if exemplar_slots < 0:
+            raise ValueError("exemplar_slots must be non-negative")
         self.name = name
         self.buckets = tuple(float(b) for b in buckets)
         self.counts = [0] * (len(self.buckets) + 1)  # + overflow
@@ -133,15 +152,41 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.exemplar_slots = exemplar_slots
+        self._exemplar_rng = random.Random(exemplar_seed)
+        # bucket index -> [(exemplar, value)], lazily populated.
+        self._exemplars: dict[int, list[tuple[object, float]]] = {}
+        self._exemplar_seen: dict[int, int] = {}
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float, exemplar: object = None) -> None:
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if exemplar is not None and self.exemplar_slots:
+            self._sample_exemplar(index, exemplar, value)
+
+    def _sample_exemplar(self, index: int, exemplar: object, value: float) -> None:
+        """Reservoir-sample one exemplar into its bucket's slots."""
+        seen = self._exemplar_seen.get(index, 0) + 1
+        self._exemplar_seen[index] = seen
+        reservoir = self._exemplars.get(index)
+        if reservoir is None:
+            reservoir = self._exemplars[index] = []
+        if len(reservoir) < self.exemplar_slots:
+            reservoir.append((exemplar, value))
+        else:
+            slot = self._exemplar_rng.randrange(seen)
+            if slot < self.exemplar_slots:
+                reservoir[slot] = (exemplar, value)
+
+    def exemplars(self, index: int) -> list[tuple[object, float]]:
+        """The sampled ``(exemplar, value)`` pairs of one bucket index."""
+        return list(self._exemplars.get(index, ()))
 
     @property
     def mean(self) -> float:
@@ -155,7 +200,7 @@ class Histogram:
         )
 
     def to_record(self) -> dict:
-        return {
+        record = {
             "kind": "metric",
             "metric": "histogram",
             "name": self.name,
@@ -166,6 +211,15 @@ class Histogram:
             "buckets": list(self.buckets),
             "counts": list(self.counts),
         }
+        if self._exemplars:
+            record["exemplars"] = {
+                str(index): [
+                    {"exemplar": exemplar, "value": value}
+                    for exemplar, value in reservoir
+                ]
+                for index, reservoir in sorted(self._exemplars.items())
+            }
+        return record
 
 
 class MetricsRegistry:

@@ -180,6 +180,104 @@ def superstep_table(records: list[dict], limit: int = 20) -> ExperimentTable | N
     return table
 
 
+def request_records(records: list[dict]) -> list[dict]:
+    """The ``serve.request`` events of a trace (see
+    :mod:`repro.observe.tracing`), in arrival order within the file."""
+    return [
+        record
+        for record in records
+        if record["kind"] == "event"
+        and record["name"] == "serve.request"
+        and "trace_id" in record.get("attrs", {})
+    ]
+
+
+def format_request_trace(attrs: dict) -> str:
+    """One request trace with its per-stage breakdown, as one line."""
+    stages = []
+    for stage in attrs.get("stages", ()):
+        extras = [
+            f"{key}={value}"
+            for key, value in stage.items()
+            if key not in ("stage", "seconds") and value is not None
+        ]
+        text = f"{stage.get('stage', '?')} {stage.get('seconds', 0.0):.2e}s"
+        if extras:
+            text += " (" + " ".join(extras) + ")"
+        stages.append(text)
+    head = (
+        f"{attrs.get('trace_id', '?')}  "
+        f"q({attrs.get('source', '?')},{attrs.get('target', '?')})  "
+        f"{attrs.get('outcome', '?')}"
+    )
+    reason = attrs.get("reason")
+    if reason:
+        head += f"[{reason}]"
+    head += f"  latency {attrs.get('latency_seconds', 0.0):.2e}s"
+    if stages:
+        head += "  |  " + " -> ".join(stages)
+    return head
+
+
+def requests_overview_section(records: list[dict]) -> str | None:
+    """Outcome counts over the trace's ``serve.request`` events."""
+    requests = request_records(records)
+    if not requests:
+        return None
+    outcomes: dict[str, int] = defaultdict(int)
+    reasons: dict[str, int] = defaultdict(int)
+    for record in requests:
+        attrs = record["attrs"]
+        outcomes[attrs.get("outcome", "?")] += 1
+        reason = attrs.get("reason")
+        if reason:
+            reasons[reason] += 1
+    title = "Request traces"
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{len(requests)} traced requests: "
+        + ", ".join(f"{count} {name}" for name, count in sorted(outcomes.items()))
+    )
+    if reasons:
+        lines.append(
+            "drop reasons: "
+            + ", ".join(f"{count} {name}" for name, count in sorted(reasons.items()))
+        )
+    lines.append("(drill down with `repro top`, `repro trace --slowest N`, "
+                 "or `repro trace --trace-id ID`)")
+    return "\n".join(lines)
+
+
+def slowest_requests_section(records: list[dict], n: int) -> str | None:
+    """The ``n`` worst served request traces, per-stage breakdown."""
+    requests = [
+        record["attrs"]
+        for record in request_records(records)
+        if record["attrs"].get("outcome") == "served"
+    ]
+    if not requests:
+        return None
+    requests.sort(
+        key=lambda attrs: (
+            -attrs.get("latency_seconds", 0.0), attrs.get("trace_id", "")
+        )
+    )
+    shown = requests[: max(n, 0)]
+    title = f"Slowest {len(shown)} request(s)"
+    lines = [title, "=" * len(title)]
+    lines.extend(format_request_trace(attrs) for attrs in shown)
+    return "\n".join(lines)
+
+
+def find_request_traces(records: list[dict], trace_id: str) -> list[dict]:
+    """The ``serve.request`` attrs matching one trace ID exactly."""
+    return [
+        record["attrs"]
+        for record in request_records(records)
+        if record["attrs"].get("trace_id") == trace_id
+    ]
+
+
 def metrics_lines(records: list[dict]) -> list[str]:
     """Human-readable lines for every exported metric record."""
     lines = []
@@ -218,6 +316,9 @@ def summarize_trace(
     ]
     if spans:
         sections.append(top_spans_section(records, top=top))
+    overview = requests_overview_section(records)
+    if overview is not None:
+        sections.append(overview)
     sections.extend(table.render() for table in bench_cell_tables(records))
     steps = superstep_table(records, limit=superstep_limit)
     if steps is not None:

@@ -1,0 +1,229 @@
+"""Tests for the ``repro top`` dashboard model and CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.build import build_index
+from repro.graph.generators import social_graph
+from repro.observe.dashboard import DashboardModel, requests_from_records
+from repro.observe.slo import SLOSpec
+from repro.pregel.cost_model import CostModel
+from repro.serve import (
+    CachingBackend,
+    QueryServer,
+    ShardedIndexBackend,
+    ShardedLabelStore,
+)
+from repro.telemetry import session
+from repro.telemetry.sinks import InMemorySink
+from repro.workloads.traffic import poisson_arrivals, zipf_pairs
+
+_NO_LIMIT = CostModel(time_limit_seconds=None)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One cached serving run: (records, ServeReport)."""
+    graph = social_graph(200, seed=9)
+    index = build_index(graph, cost_model=_NO_LIMIT).index
+    store = ShardedLabelStore(index, num_shards=4, cost_model=_NO_LIMIT)
+    backend = CachingBackend(ShardedIndexBackend(store), cost_model=_NO_LIMIT)
+    pairs = zipf_pairs(graph.num_vertices, 1500, seed=1)
+    arrivals = poisson_arrivals(1500, rate=2_000_000, seed=2)
+    sink = InMemorySink()
+    with session([sink]):
+        server = QueryServer(backend, queue_depth=64, cost_model=_NO_LIMIT)
+        report = server.run_open(pairs, arrivals)
+    return sink.records, report
+
+
+@pytest.fixture(scope="module")
+def model(traced_run):
+    records, _ = traced_run
+    return DashboardModel.from_records(records)
+
+
+class TestModel:
+    def test_counts_match_report(self, traced_run, model):
+        _, report = traced_run
+        assert model.offered == report.offered
+        assert model.served == report.served
+        assert model.shed == report.shed
+        assert model.deadline_dropped == report.deadline_dropped
+        assert model.positives == report.positives
+
+    def test_percentiles_match_report_exactly(self, traced_run, model):
+        _, report = traced_run
+        assert model.percentile(0.50) == report.p50_seconds
+        assert model.percentile(0.99) == report.p99_seconds
+        assert model.percentile(0.999) == report.p999_seconds
+        assert model.makespan_seconds == report.makespan_seconds
+        assert model.throughput == report.throughput
+
+    def test_hit_rate_matches_report_exactly(self, traced_run, model):
+        _, report = traced_run
+        assert model.cache_hits == report.cache_hits
+        assert model.cache_misses == report.cache_misses
+        assert model.cache_hit_rate == report.cache_hit_rate
+
+    def test_traced_fraction_and_stage_counts(self, model):
+        assert model.traced_fraction >= 0.99
+        for stage in ("admission", "cache", "store", "backend"):
+            assert model.stage_counts.get(stage, 0) > 0
+
+    def test_shard_traffic(self, traced_run, model):
+        _, report = traced_run
+        # Store stages record every fetch; shard loads cover all shards.
+        assert model.store_fetches == report.cache_misses
+        assert sum(model.shard_loads.values()) == sum(report.shard_loads)
+
+    def test_windows_cover_the_run(self, model):
+        assert model.windows
+        assert sum(w.offered for w in model.windows) == model.offered
+        assert sum(w.served for w in model.windows) == model.served
+
+    def test_worst_traces_sorted(self, model):
+        latencies = [r.latency_seconds for r in model.worst]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[0] == model.latencies[-1]
+
+    def test_to_json_round_trips(self, model):
+        payload = json.loads(json.dumps(model.to_json()))
+        assert payload["served"] == model.served
+        assert payload["p99_seconds"] == model.percentile(0.99)
+        assert payload["hit_rate"] == model.cache_hit_rate
+        assert len(payload["windows"]) == len(model.windows)
+        assert payload["alerts"] == []
+
+    def test_render_mentions_the_essentials(self, model):
+        text = model.render()
+        assert "throughput" in text
+        assert "p99" in text
+        assert "Windows" in text
+        assert "Worst requests" in text
+
+    def test_slo_statuses_included(self, traced_run):
+        records, _ = traced_run
+        specs = [
+            SLOSpec("impossible", "latency", 0.999, threshold_seconds=1e-12),
+            SLOSpec("trivial", "latency", 0.5, threshold_seconds=10.0),
+        ]
+        with_slos = DashboardModel.from_records(records, specs=specs)
+        by_name = {s.spec.name: s for s in with_slos.slos}
+        assert not by_name["impossible"].ok
+        assert by_name["trivial"].ok
+        assert any(a["slo"] == "impossible" for a in with_slos.firing_alerts)
+
+    def test_run_selection(self, traced_run):
+        records, report = traced_run
+        doubled = list(records) + [
+            {**r, "span": (r.get("span") or 0) + 1000}
+            for r in records
+            if r.get("kind") == "event" and r.get("name") == "serve.request"
+        ]
+        both = DashboardModel.from_records(doubled)
+        assert both.runs == 2
+        assert both.offered == 2 * report.offered
+        first = DashboardModel.from_records(doubled, run=1)
+        assert first.offered == report.offered
+        with pytest.raises(ValueError, match="out of range"):
+            DashboardModel.from_records(doubled, run=3)
+
+    def test_empty_records(self):
+        empty = DashboardModel.from_records([])
+        assert empty.offered == 0
+        assert empty.windows == []
+        assert empty.percentile(0.99) == 0.0
+        assert "0 requests" in empty.render()
+
+    def test_requests_from_records_ignores_other_events(self):
+        records = [
+            {"kind": "event", "name": "pregel.superstep", "attrs": {}},
+            {"kind": "span", "name": "serve.run"},
+            {"kind": "event", "name": "serve.request", "attrs": {}},  # no id
+        ]
+        assert requests_from_records(records) == []
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, traced_run, tmp_path):
+        records, _ = traced_run
+        path = tmp_path / "serve.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n"
+        )
+        return path
+
+    def test_top_once_json(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--once", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["served"] > 0
+        assert payload["traced_fraction"] >= 0.99
+
+    def test_top_once_text(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--once"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_top_json_requires_once(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--json"]) == 2
+
+    def test_top_missing_file(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+
+    def test_top_no_requests(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"kind": "span", "name": "x"}\n')
+        assert main(["top", str(path), "--once"]) == 1
+
+    def test_top_fail_on_alert(self, trace_file, tmp_path, capsys):
+        tight = tmp_path / "tight.json"
+        tight.write_text(json.dumps({"slos": [{
+            "name": "impossible", "kind": "latency",
+            "target": 0.999, "threshold_seconds": 1e-12,
+        }]}))
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps({"slos": [{
+            "name": "trivial", "kind": "latency",
+            "target": 0.5, "threshold_seconds": 10.0,
+        }]}))
+        assert main(
+            ["top", str(trace_file), "--once", "--slo", str(tight),
+             "--fail-on-alert"]
+        ) == 1
+        assert "ALERT" in capsys.readouterr().err
+        assert main(
+            ["top", str(trace_file), "--once", "--slo", str(loose),
+             "--fail-on-alert"]
+        ) == 0
+
+    def test_top_bad_slo_spec(self, trace_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(
+            ["top", str(trace_file), "--once", "--slo", str(bad)]
+        ) == 2
+
+    def test_top_run_selection(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--once", "--run", "1"]) == 0
+        assert main(["top", str(trace_file), "--once", "--run", "9"]) == 2
+
+    def test_trace_slowest(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--slowest", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest 3" in out
+        assert "admission" in out
+
+    def test_trace_by_trace_id(self, trace_file, capsys):
+        main(["trace", str(trace_file), "--slowest", "1"])
+        line = capsys.readouterr().out.splitlines()[-1]
+        trace_id = line.split()[0]
+        assert main(["trace", str(trace_file), "--trace-id", trace_id]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert main(["trace", str(trace_file), "--trace-id", "nope"]) == 1
+
+    def test_trace_summary_includes_request_overview(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        assert "Request traces" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Tests for rolling-window aggregation and the window detectors."""
+
+import pytest
+
+from repro.observe.windows import (
+    HotKeyDetector,
+    LatencyRegressionDetector,
+    RollingAggregator,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class TestRollingAggregator:
+    def test_first_window_is_the_baseline(self):
+        aggregator = RollingAggregator()
+        snapshot = aggregator.step(5.0, {"served": 100})
+        assert snapshot.index == 0
+        assert snapshot.start == snapshot.end == 5.0
+        assert snapshot.deltas == {"served": 100}
+        assert snapshot.rates == {"served": 0.0}  # zero-duration window
+
+    def test_deltas_and_rates(self):
+        aggregator = RollingAggregator(alpha=0.5)
+        aggregator.step(0.0, {"served": 0})
+        snapshot = aggregator.step(2.0, {"served": 10})
+        assert snapshot.deltas == {"served": 10}
+        assert snapshot.rates == {"served": 5.0}
+        assert snapshot.ewma_rates == {"served": 5.0}  # first rate seeds EWMA
+        snapshot = aggregator.step(4.0, {"served": 30})
+        assert snapshot.rates == {"served": 10.0}
+        assert snapshot.ewma_rates == {"served": 7.5}  # 0.5*10 + 0.5*5
+
+    def test_empty_window_has_zero_rates_and_keeps_ewma(self):
+        aggregator = RollingAggregator()
+        aggregator.step(0.0, {"served": 0})
+        aggregator.step(1.0, {"served": 100})
+        before = dict(aggregator.step(1.0, {"served": 100}).ewma_rates)
+        # Zero-duration window: rates are 0, EWMA untouched.
+        snapshot = aggregator.step(1.0, {"served": 100})
+        assert snapshot.rates == {"served": 0.0}
+        assert snapshot.ewma_rates == before
+
+    def test_counter_reset_detected(self):
+        aggregator = RollingAggregator()
+        aggregator.step(0.0, {"served": 50})
+        snapshot = aggregator.step(1.0, {"served": 8})
+        # The counter restarted: the delta is the new value, not -42.
+        assert snapshot.deltas == {"served": 8}
+        assert snapshot.resets == ("served",)
+        assert snapshot.rates == {"served": 8.0}
+
+    def test_new_series_mid_stream(self):
+        aggregator = RollingAggregator()
+        aggregator.step(0.0, {"a": 1})
+        snapshot = aggregator.step(1.0, {"a": 2, "b": 5})
+        assert snapshot.deltas == {"a": 1, "b": 5}
+        assert snapshot.resets == ()
+
+    def test_time_going_backwards_raises(self):
+        aggregator = RollingAggregator()
+        aggregator.step(2.0, {})
+        with pytest.raises(ValueError, match="backwards"):
+            aggregator.step(1.0, {})
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RollingAggregator(alpha=0.0)
+        with pytest.raises(ValueError):
+            RollingAggregator(alpha=1.5)
+
+    def test_step_registry_uses_flat_view(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        aggregator = RollingAggregator()
+        snapshot = aggregator.step_registry(1.0, registry)
+        assert snapshot.values["hits"] == 3
+
+
+class TestHotKeyDetector:
+    def test_flags_only_dominant_keys(self):
+        detector = HotKeyDetector(share_threshold=0.25, min_count=10)
+        counts = {"hot": 60, "warm": 25, "cold": 15}
+        hot = detector.observe(counts)
+        assert [h.key for h in hot] == ["hot", "warm"]
+        assert hot[0].share == 0.6
+
+    def test_min_count_suppresses_tiny_windows(self):
+        detector = HotKeyDetector(share_threshold=0.25, min_count=10)
+        assert detector.observe({"a": 2, "b": 1}) == []
+
+    def test_empty_window(self):
+        assert HotKeyDetector().observe({}) == []
+
+    def test_deterministic_tie_break(self):
+        detector = HotKeyDetector(share_threshold=0.1, min_count=10)
+        hot = detector.observe({"b": 50, "a": 50})
+        assert [h.key for h in hot] == ["a", "b"]
+
+
+class TestLatencyRegressionDetector:
+    def test_flags_after_warmup_only(self):
+        detector = LatencyRegressionDetector(factor=2.0, warmup=3)
+        assert detector.observe(1.0) is False
+        assert detector.observe(1.0) is False
+        assert detector.observe(1.0) is False
+        assert detector.observe(5.0) is True  # past warmup, 5x the baseline
+
+    def test_regression_not_folded_into_baseline(self):
+        detector = LatencyRegressionDetector(factor=2.0, warmup=1)
+        detector.observe(1.0)
+        detector.observe(1.0)
+        baseline = detector.baseline
+        assert detector.observe(100.0) is True
+        assert detector.baseline == baseline  # spike kept out of the EWMA
+        assert detector.observe(100.0) is True  # sustained: keeps firing
+
+    def test_normal_values_track_baseline(self):
+        detector = LatencyRegressionDetector(alpha=0.5, warmup=1)
+        detector.observe(1.0)
+        detector.observe(2.0)
+        assert detector.baseline == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRegressionDetector(factor=1.0)
+        with pytest.raises(ValueError):
+            LatencyRegressionDetector(warmup=0)

@@ -465,3 +465,167 @@ def test_query_service_untracked_without_session(small_graph):
     report = service.evaluate([(0, 1)])
     assert report.count == 1
     assert len(telemetry.current_metrics()) == 0
+
+
+# ----------------------------------------------------------------------
+# Exemplars
+# ----------------------------------------------------------------------
+def test_exemplars_land_in_the_right_buckets():
+    hist = telemetry.Histogram("lat", buckets=(1.0, 10.0), exemplar_slots=4)
+    hist.observe(0.5, exemplar="t-low")
+    hist.observe(5.0, exemplar="t-mid")
+    hist.observe(50.0, exemplar="t-high")
+    assert hist.exemplars(0) == [("t-low", 0.5)]
+    assert hist.exemplars(1) == [("t-mid", 5.0)]
+    assert hist.exemplars(2) == [("t-high", 50.0)]  # overflow bucket
+
+
+def test_exemplar_reservoir_is_bounded_and_deterministic():
+    def fill(seed):
+        hist = telemetry.Histogram(
+            "lat", buckets=(100.0,), exemplar_slots=3, exemplar_seed=seed
+        )
+        for i in range(500):
+            hist.observe(float(i % 100), exemplar=f"t-{i:03d}")
+        return hist.exemplars(0)
+
+    first, second = fill(0), fill(0)
+    assert len(first) == 3  # bounded at exemplar_slots
+    assert first == second  # same seed, same sequence -> same sample
+    assert fill(1) != first  # a different seed samples differently
+    counts_only = telemetry.Histogram("lat", buckets=(100.0,))
+    for i in range(500):
+        counts_only.observe(float(i % 100), exemplar=f"t-{i:03d}")
+    assert counts_only.count == 500  # sampling never affects the counts
+
+
+def test_observe_without_exemplar_keeps_record_stable():
+    hist = telemetry.Histogram("lat", buckets=(1.0,))
+    hist.observe(0.5)
+    record = hist.to_record()
+    assert "exemplars" not in record
+    with_exemplar = telemetry.Histogram("lat", buckets=(1.0,))
+    with_exemplar.observe(0.5, exemplar="t-0")
+    record = with_exemplar.to_record()
+    assert record["exemplars"] == {"0": [{"exemplar": "t-0", "value": 0.5}]}
+    json.dumps(record)  # JSONL-exportable
+
+
+def test_exemplar_slots_validation():
+    with pytest.raises(ValueError):
+        telemetry.Histogram("lat", exemplar_slots=-1)
+    zero = telemetry.Histogram("lat", exemplar_slots=0)
+    zero.observe(0.5, exemplar="t-0")
+    assert zero.exemplars(0) == []
+
+
+def test_serve_latency_histogram_carries_trace_exemplars():
+    from repro.graph.generators import social_graph
+    from repro.core.build import build_index
+    from repro.serve import QueryServer
+    from repro.query.service import IndexBackend as _IB
+
+    graph = social_graph(60, seed=3)
+    index = build_index(graph, cost_model=_NO_LIMIT).index
+    sink = InMemorySink()
+    with session([sink]):
+        server = QueryServer(_IB(index, _NO_LIMIT), cost_model=_NO_LIMIT)
+        server.run_open([(0, 1)] * 20, [0.0] * 20)
+    record = next(
+        m for m in sink.metrics if m["name"] == "serve.latency_seconds"
+    )
+    exemplars = record["exemplars"]
+    assert exemplars
+    ids = {
+        entry["exemplar"]
+        for reservoir in exemplars.values()
+        for entry in reservoir
+    }
+    event_ids = {
+        r["attrs"]["trace_id"]
+        for r in sink.records
+        if r.get("kind") == "event" and r.get("name") == "serve.request"
+    }
+    assert ids <= event_ids  # every exemplar is a real request trace
+
+
+# ----------------------------------------------------------------------
+# Overhead guard: telemetry off => no per-request tracing work
+# ----------------------------------------------------------------------
+def _overhead_workload():
+    from repro.graph.generators import social_graph
+    from repro.core.build import build_index
+
+    graph = social_graph(120, seed=5)
+    index = build_index(graph, cost_model=_NO_LIMIT).index
+    pairs = [(i % 120, (i * 7) % 120) for i in range(4000)]
+    arrivals = [i * 1e-7 for i in range(4000)]
+    return IndexBackend(index, _NO_LIMIT), pairs, arrivals
+
+
+def test_disabled_telemetry_allocates_no_request_traces(monkeypatch):
+    from repro.observe import tracing
+    from repro.serve import QueryServer, pipeline as pipeline_module
+
+    created = []
+    original = tracing.RequestTrace
+
+    class Counting(original):
+        def __init__(self, *args, **kwargs):
+            created.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline_module, "RequestTrace", Counting)
+    backend, pairs, arrivals = _overhead_workload()
+    assert current_tracer() is NULL_TRACER  # telemetry off
+    report = QueryServer(backend, cost_model=_NO_LIMIT).run_open(pairs, arrivals)
+    assert report.served + report.shed == len(pairs)
+    assert created == []  # the hot path allocated zero trace objects
+
+
+def test_disabled_telemetry_wall_time_overhead_under_5_percent(monkeypatch):
+    import time
+    from contextlib import nullcontext
+    from repro.serve import QueryServer, pipeline as pipeline_module
+
+    backend, pairs, arrivals = _overhead_workload()
+
+    def run_once():
+        server = QueryServer(backend, cost_model=_NO_LIMIT)
+        start = time.perf_counter()
+        server.run_open(pairs, arrivals)
+        return time.perf_counter() - start
+
+    def best_of(n):
+        return min(run_once() for _ in range(n))
+
+    class _Bare:
+        simulated_seconds = 0.0
+
+        def set(self, **attrs):
+            return self
+
+        def add_simulated(self, seconds):
+            pass
+
+    # The instrumented-but-disabled pipeline, as shipped.
+    instrumented = best_of(5)
+    # The same pipeline with the telemetry hooks stripped out entirely:
+    # what an uninstrumented build would run.
+    monkeypatch.setattr(pipeline_module, "enabled", lambda: False)
+    monkeypatch.setattr(
+        pipeline_module,
+        "trace_span",
+        lambda name, **attrs: nullcontext(_Bare()),
+    )
+    stripped = best_of(5)
+    # Generous bound with re-measurement: timing on shared CI boxes is
+    # noisy, and the ISSUE's contract is <5% added wall time.
+    for _ in range(3):
+        if instrumented <= stripped * 1.05:
+            break
+        instrumented = min(instrumented, best_of(5))
+    assert instrumented <= stripped * 1.05, (
+        f"disabled-telemetry overhead too high: "
+        f"{instrumented:.4f}s vs {stripped:.4f}s uninstrumented"
+    )
