@@ -13,6 +13,10 @@ Commands
 - ``serve-bench`` — benchmark the query-serving layer: sharded labels,
   query cache on/off, admission control under a Zipf/Poisson workload;
   supports the same baseline gate flags (see ``docs/serving.md``).
+- ``scenario`` — list (``scenario list``) and run (``scenario run``)
+  declarative serving scenarios: traffic shape + fault schedule +
+  replication config + expected-result assertions, graded against the
+  run (see ``docs/api.md``, "Scenario format").
 - ``fuzz`` — differential fuzzing of the index builders against the
   oracle matrix, with failure shrinking and ``--replay`` of saved
   repros (see ``docs/paper_mapping.md``, "Fuzzing oracles").
@@ -49,14 +53,7 @@ from repro.graph.io import read_edge_list, write_edge_list
 from repro.pregel.cost_model import CostModel, paper_scale_model
 from repro.workloads.datasets import DATASETS
 
-_GENERATORS = {
-    "web": generators.web_graph,
-    "social": generators.social_graph,
-    "citation": generators.citation_graph,
-    "knowledge": generators.knowledge_graph,
-    "random": lambda n, seed: generators.random_digraph(n, 4 * n, seed=seed),
-    "dag": lambda n, seed: generators.random_dag(n, 3 * n, seed=seed),
-}
+_GENERATORS = generators.GRAPH_KINDS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -283,6 +280,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline-threshold", type=float, default=None, metavar="FRACTION",
         help="relative deviation tolerated by --check-baseline "
         "(default 0.1 = 10%%)",
+    )
+    serve_bench.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the per-row reports as JSON (atomic: an interrupted "
+        "run never leaves a torn file)",
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run declarative serving scenarios with assertions",
+        description="Execute declarative serving scenarios (traffic "
+        "shape + fault schedule + replication config + expected-result "
+        "assertions) and grade their expectations.  See docs/api.md, "
+        "'Scenario format'.",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser(
+        "list", help="list the committed scenario library"
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run scenarios (library names and/or spec files)",
+        parents=[telemetry_flags],
+    )
+    scenario_run.add_argument(
+        "scenarios", nargs="*", metavar="NAME_OR_PATH",
+        help="library scenario names or paths to spec files "
+        "(default: the whole committed library)",
+    )
+    scenario_run.add_argument(
+        "--fail-on-assert", action="store_true",
+        help="exit non-zero when any expectation fails "
+        "(default: report failures but exit 0)",
+    )
+    scenario_run.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write a combined JSON report of all runs (atomic write)",
     )
 
     trace = sub.add_parser(
@@ -731,6 +765,24 @@ def _cmd_serve_bench(args) -> int:
     speedup = caching_speedup(reports)
     if speedup is not None:
         print(f"\ncaching speedup: {speedup:.2f}x throughput")
+    if args.report is not None:
+        import dataclasses
+        import json as json_module
+
+        from repro.bench.results import atomic_write_text
+
+        payload = {
+            "rows": {
+                row: dataclasses.asdict(report)
+                for row, report in reports.items()
+            },
+        }
+        if speedup is not None:
+            payload["caching_speedup"] = speedup
+        atomic_write_text(
+            args.report, json_module.dumps(payload, indent=2) + "\n"
+        )
+        print(f"report written to {args.report}", file=sys.stderr)
     exit_code = 0
     if args.check_baseline is not None or args.save_baseline is not None:
         from repro.bench.baseline import (
@@ -767,6 +819,56 @@ def _cmd_serve_bench(args) -> int:
             saved = save_baseline("serve-bench", [table], path)
             print(f"baseline saved to {saved}", file=sys.stderr)
     return exit_code
+
+
+def _cmd_scenario(args) -> int:
+    from repro.scenarios import (
+        library_scenarios,
+        load_scenario,
+        run_scenario,
+        write_scenario_report,
+    )
+
+    library = library_scenarios()
+    if args.scenario_command == "list":
+        if not library:
+            print("no committed scenarios found")
+            return 0
+        width = max(len(name) for name in library)
+        for name, path in library.items():
+            spec = load_scenario(path)
+            print(f"{name:<{width}}  {spec.description or '(no description)'}")
+        return 0
+
+    names = args.scenarios or sorted(library)
+    specs = []
+    for name in names:
+        if name in library:
+            specs.append(load_scenario(library[name]))
+        elif Path(name).exists():
+            specs.append(load_scenario(Path(name)))
+        else:
+            print(
+                f"error: {name!r} is neither a library scenario "
+                f"({', '.join(sorted(library)) or 'none committed'}) "
+                f"nor a spec file",
+                file=sys.stderr,
+            )
+            return 2
+    results = []
+    for spec in specs:
+        result = run_scenario(spec)
+        results.append(result)
+        print(result.render())
+        print()
+    passed = sum(result.ok for result in results)
+    print(f"{passed}/{len(results)} scenario(s) passed")
+    if args.report is not None:
+        write_scenario_report(results, args.report)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.fail_on_assert and passed != len(results):
+        return 1
+    return 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -978,6 +1080,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "scenario": _cmd_scenario,
     "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
     "top": _cmd_top,

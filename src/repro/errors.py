@@ -23,6 +23,59 @@ class OutOfMemoryError(ReproError):
         )
 
 
+class ShardOutOfMemoryError(OutOfMemoryError):
+    """One label shard's data exceeded its per-shard memory budget.
+
+    Raised with everything an operator needs to act on: *which* shard
+    overflowed, how many bytes it attempted to hold, what the budget
+    was, and how the shard got that big (vertices / label entries) —
+    instead of only GiB-rounded totals that read as "0.00 GiB" for
+    small test budgets.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        attempted_bytes: int,
+        budget_bytes: int,
+        vertices: int = 0,
+        entries: int = 0,
+    ):
+        self.shard_id = shard_id
+        self.attempted_bytes = attempted_bytes
+        self.budget_bytes = budget_bytes
+        self.vertices = vertices
+        self.entries = entries
+        # Skip OutOfMemoryError.__init__: its message rounds to GiB,
+        # which loses the actual numbers for small budgets.  Keep its
+        # attribute contract so existing handlers work unchanged.
+        self.required_bytes = attempted_bytes
+        ReproError.__init__(
+            self,
+            f"label shard {shard_id} needs {attempted_bytes:,} bytes "
+            f"({vertices} vertices, {entries} label entries) but the "
+            f"per-shard budget is {budget_bytes:,} bytes; rebalance the "
+            f"partitioner or add shards",
+        )
+
+
+class ShardUnavailableError(ReproError):
+    """Every replica of a label shard is down; the read cannot be served.
+
+    The serving pipeline catches this per request (the request is
+    counted as failed, not served) so one lost shard degrades
+    availability instead of crashing the server.
+    """
+
+    def __init__(self, shard_id: int, replicas: int):
+        self.shard_id = shard_id
+        self.replicas = replicas
+        super().__init__(
+            f"all {replicas} replica(s) of label shard {shard_id} are "
+            f"unavailable"
+        )
+
+
 class TimeLimitExceeded(ReproError):
     """The simulated cut-off time (paper: 2 hours) was exceeded.
 

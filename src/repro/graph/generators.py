@@ -377,3 +377,16 @@ def kronecker_graph(
                 v |= 1
         builder.add_edge(u, v)
     return builder.build()
+
+
+#: Named graph kinds: ``name -> factory(n, seed=...)``.  The single
+#: registry behind ``repro generate --kind``, ``repro serve-bench``,
+#: and the scenario format's ``graph.kind`` field.
+GRAPH_KINDS = {
+    "web": web_graph,
+    "social": social_graph,
+    "citation": citation_graph,
+    "knowledge": knowledge_graph,
+    "random": lambda n, seed=0: random_digraph(n, 4 * n, seed=seed),
+    "dag": lambda n, seed=0: random_dag(n, 3 * n, seed=seed),
+}

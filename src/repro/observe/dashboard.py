@@ -141,6 +141,8 @@ class DashboardModel:
     served: int
     shed: int
     deadline_dropped: int
+    failed: int
+    failovers: int
     positives: int
     makespan_seconds: float
     latencies: list[float]  # served, sorted
@@ -176,6 +178,13 @@ class DashboardModel:
         serve-bench's cached and uncached rows; the default aggregates
         them all.
         """
+        records = list(records)
+        failovers = sum(
+            1
+            for record in records
+            if record.get("kind") == "event"
+            and record.get("name") == "serve.failover"
+        )
         requests = requests_from_records(records)
         run_ids: list = []
         for request in requests:
@@ -196,6 +205,7 @@ class DashboardModel:
         served_requests = [r for r in requests if r.outcome == "served"]
         shed = sum(1 for r in requests if r.outcome == "shed")
         deadline_dropped = sum(1 for r in requests if r.outcome == "deadline")
+        failed = sum(1 for r in requests if r.outcome == "error")
         latencies = sorted(r.latency_seconds for r in served_requests)
         makespan = max(
             (r.arrival + r.latency_seconds for r in served_requests),
@@ -260,6 +270,8 @@ class DashboardModel:
             served=len(served_requests),
             shed=shed,
             deadline_dropped=deadline_dropped,
+            failed=failed,
+            failovers=failovers,
             positives=positives,
             makespan_seconds=makespan,
             latencies=latencies,
@@ -378,6 +390,8 @@ class DashboardModel:
             "served": self.served,
             "shed": self.shed,
             "deadline_dropped": self.deadline_dropped,
+            "failed": self.failed,
+            "failovers": self.failovers,
             "positives": self.positives,
             "makespan_seconds": self.makespan_seconds,
             "throughput": self.throughput,
@@ -422,7 +436,9 @@ class DashboardModel:
             f"  served {self.served}/{self.offered} "
             f"({1 - self.shed_rate - (self.deadline_dropped / self.offered if self.offered else 0):.1%})"
             f"   shed {self.shed} ({self.shed_rate:.1%})"
-            f"   deadline {self.deadline_dropped}",
+            f"   deadline {self.deadline_dropped}"
+            + (f"   failed {self.failed}" if self.failed else "")
+            + (f"   failovers {self.failovers}" if self.failovers else ""),
             f"  latency p50 {self.percentile(0.50):.2e}s  "
             f"p99 {self.percentile(0.99):.2e}s  "
             f"p999 {self.percentile(0.999):.2e}s  "

@@ -1,0 +1,342 @@
+"""Executes a :class:`~repro.scenarios.spec.ScenarioSpec` end to end.
+
+One call builds the graph and index, stands up the replicated store +
+cache + server, replays traffic with the fault schedule and write
+burst riding the serving clock, then grades every expectation — and,
+for dynamic scenarios, **audits correctness**: every served answer is
+recorded with the index version it was served at and re-checked
+against a transitive-closure oracle built for that exact version.  The
+audit is the teeth behind the library's ``incorrect_answers_max: 0``
+assertions: a replica crash during a write burst must not leak a
+single wrong answer, and this is where that is proven rather than
+assumed.
+
+Everything is deterministic (all randomness is seeded in the spec), so
+a scenario that passes passes every time, and a red scenario replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baselines.transitive_closure import TransitiveClosure
+from repro.bench.results import atomic_write_text
+from repro.core.dynamic import DynamicReachabilityIndex
+from repro.core.tol import tol_index
+from repro.graph.partition import PARTITIONER_STRATEGIES
+from repro.scenarios.spec import ScenarioSpec, load_scenario
+from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.faults import ServeFaultInjector
+from repro.serve.pipeline import QueryServer, ServeReport
+from repro.serve.replica import BoundedStalenessReplicator, ReplicatedLabelStore
+from repro.serve.store import ShardedIndexBackend
+from repro.workloads.updates import update_stream
+
+
+class AuditingBackend:
+    """Records ``(version, s, t, answer)`` for every served query.
+
+    Wraps the outermost backend so whatever answer the server is about
+    to return — cached, replicated, confirmed, anything — is what gets
+    audited.  ``version_of()`` reports the leader index's current
+    update count, so the post-run oracle knows exactly which graph each
+    answer was served against.
+    """
+
+    def __init__(self, inner, version_of):
+        self.inner = inner
+        self._version_of = version_of
+        self.records: list[tuple[int, int, int, bool]] = []
+
+    def query_with_cost(self, s: int, t: int) -> tuple[bool, float]:
+        answer, seconds = self.inner.query_with_cost(s, t)
+        self.records.append((self._version_of(), s, t, answer))
+        return answer, seconds
+
+
+@dataclass
+class ExpectationCheck:
+    """One graded assertion from the spec's ``expect`` block."""
+
+    name: str
+    expected: float
+    actual: float
+    ok: bool
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        op = ">=" if self.name.endswith("_min") else "<="
+        return f"  [{mark}] {self.name}: {self.actual:g} {op} {self.expected:g}"
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    report: ServeReport
+    checks: list[ExpectationCheck]
+    audited: int = 0
+    incorrect_answers: int = 0
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did every expectation hold?"""
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        """Multi-line human-readable result."""
+        status = "PASS" if self.ok else "FAIL"
+        lines = [f"scenario {self.spec.name}: {status}"]
+        if self.spec.description:
+            lines.append(f"  {self.spec.description}")
+        lines.append(
+            f"  {self.report.offered} offered / {self.report.served} served "
+            f"(availability {self.report.availability:.2%}), "
+            f"p99 {self.report.p99_seconds:.2e}s"
+        )
+        if self.audited:
+            lines.append(
+                f"  audit: {self.audited} answers checked against the "
+                f"oracle, {self.incorrect_answers} incorrect"
+            )
+        if self.events:
+            names = [e["event"] for e in self.events]
+            lines.append(f"  events: {', '.join(names)}")
+        lines.extend(check.render() for check in self.checks)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready report (the ``--report`` artifact shape)."""
+        return {
+            "name": self.spec.name,
+            "ok": self.ok,
+            "spec": self.spec.to_dict(),
+            "report": {
+                "offered": self.report.offered,
+                "served": self.report.served,
+                "shed": self.report.shed,
+                "deadline_dropped": self.report.deadline_dropped,
+                "failed": self.report.failed,
+                "availability": self.report.availability,
+                "throughput": self.report.throughput,
+                "p50_seconds": self.report.p50_seconds,
+                "p99_seconds": self.report.p99_seconds,
+                "cache_hit_rate": self.report.cache_hit_rate,
+                "failovers": self.report.failovers,
+                "replica_timeouts": self.report.replica_timeouts,
+                "stale_reads": self.report.stale_reads,
+                "confirmed_reads": self.report.confirmed_reads,
+                "shard_skew": self.report.shard_skew,
+            },
+            "audit": {
+                "audited": self.audited,
+                "incorrect_answers": self.incorrect_answers,
+            },
+            "events": self.events,
+            "checks": [
+                {
+                    "name": c.name,
+                    "expected": c.expected,
+                    "actual": c.actual,
+                    "ok": c.ok,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def run_scenario(
+    spec: ScenarioSpec, request_tracing: bool | None = None
+) -> ScenarioResult:
+    """Execute one scenario and grade its expectations."""
+    graph = spec.graph.build()
+    serving = spec.serving
+    partitioner = PARTITIONER_STRATEGIES[serving.partitioner](
+        serving.shards, graph.num_vertices
+    )
+
+    # --- index + replication -----------------------------------------
+    replicator = None
+    applied_updates: list[tuple[str, int, int]] = []
+    if spec.dynamic:
+        leader = DynamicReachabilityIndex(graph)
+        leader.subscribe(lambda op, u, v: applied_updates.append((op, u, v)))
+        if spec.replication is not None:
+            replicator = BoundedStalenessReplicator(
+                leader,
+                serving.replicas,
+                delay_seconds=spec.replication.delay_seconds,
+                max_lag=spec.replication.max_lag,
+                apply_seconds_per_op=spec.replication.apply_seconds_per_op,
+            )
+        index = leader
+    else:
+        index = tol_index(graph)
+
+    store = ReplicatedLabelStore(
+        index,
+        num_shards=serving.shards,
+        partitioner=partitioner,
+        replicas=serving.replicas,
+        policy=serving.policy,
+        replicator=replicator,
+    )
+    injector = ServeFaultInjector(spec.faults, store)
+
+    # --- backend chain: audit(cache(store)) --------------------------
+    backend = ShardedIndexBackend(store)
+    cache = None
+    if serving.cache_size:
+        cache = QueryCache(
+            capacity=serving.cache_size,
+            negative_caching=serving.negative_cache,
+        )
+        if spec.dynamic:
+            cache.attach(index)
+        backend = CachingBackend(backend, cache)
+    auditor = AuditingBackend(backend, lambda: len(applied_updates))
+    backend = auditor
+
+    # --- the write burst, scheduled on the serving clock -------------
+    pending_updates: list[tuple[float, tuple[str, int, int]]] = []
+    if spec.updates is not None:
+        stream = update_stream(
+            graph,
+            spec.updates.count,
+            insert_ratio=spec.updates.insert_ratio,
+            seed=spec.updates.seed,
+        )
+        pending_updates = [
+            (spec.updates.start_seconds + i * spec.updates.interval_seconds, op)
+            for i, op in enumerate(stream)
+        ]
+    update_cursor = [0]
+
+    def on_advance(clock: float) -> None:
+        # Apply due leader updates first (each stamped with its own
+        # scheduled instant so replication delay runs from issue time),
+        # then fire due faults and pump replication/health.
+        cursor = update_cursor[0]
+        while cursor < len(pending_updates) and pending_updates[cursor][0] <= clock:
+            at, (op, u, v) = pending_updates[cursor]
+            if replicator is not None:
+                replicator.note_time(at)
+            if op == "insert":
+                index.insert_edge(u, v)
+            else:
+                index.delete_edge(u, v)
+            cursor += 1
+        update_cursor[0] = cursor
+        injector.advance(clock)
+
+    # --- serve --------------------------------------------------------
+    server = QueryServer(
+        backend,
+        queue_depth=serving.queue_depth,
+        batch_size=serving.batch_size,
+        deadline_seconds=serving.deadline_seconds,
+        request_tracing=request_tracing,
+        on_advance=on_advance,
+    )
+    pairs, arrivals = spec.traffic.build(graph.num_vertices)
+    report = server.run_open(pairs, arrivals)
+
+    # --- audit: every served answer vs the oracle at its version -----
+    audited = incorrect = 0
+    if spec.dynamic:
+        audited, incorrect = _audit(graph, applied_updates, auditor.records)
+    else:
+        oracle = TransitiveClosure(graph)
+        for _, s, t, answer in auditor.records:
+            audited += 1
+            incorrect += answer != oracle.query(s, t)
+
+    checks = _grade(spec, report, incorrect)
+    return ScenarioResult(
+        spec=spec,
+        report=report,
+        checks=checks,
+        audited=audited,
+        incorrect_answers=incorrect,
+        events=list(store.events),
+    )
+
+
+def _audit(
+    graph,
+    applied_updates: list[tuple[str, int, int]],
+    records: list[tuple[int, int, int, bool]],
+) -> tuple[int, int]:
+    """Check every served answer against the exact graph it was served
+    on: replay the update stream to each recorded version and compare
+    with a transitive closure built there."""
+    dynamic = DynamicReachabilityIndex(graph)
+    oracles: dict[int, TransitiveClosure] = {}
+    version = 0
+    audited = incorrect = 0
+    for record_version, s, t, answer in sorted(records, key=lambda r: r[0]):
+        while version < record_version:
+            op, u, v = applied_updates[version]
+            if op == "insert":
+                dynamic.insert_edge(u, v)
+            else:
+                dynamic.delete_edge(u, v)
+            version += 1
+        if version not in oracles:
+            oracles[version] = TransitiveClosure(dynamic.current_graph())
+        audited += 1
+        incorrect += answer != oracles[version].query(s, t)
+    return audited, incorrect
+
+
+def _grade(
+    spec: ScenarioSpec, report: ServeReport, incorrect: int
+) -> list[ExpectationCheck]:
+    """Grade the spec's ``expect`` block against the run."""
+    shed_fraction = report.shed / report.offered if report.offered else 0.0
+    actuals = {
+        "availability_min": report.availability,
+        "served_min": report.served,
+        "shed_fraction_max": shed_fraction,
+        "failed_max": report.failed,
+        "p50_max_seconds": report.p50_seconds,
+        "p99_max_seconds": report.p99_seconds,
+        "incorrect_answers_max": incorrect,
+        "failovers_min": report.failovers,
+        "failovers_max": report.failovers,
+        "cache_hit_rate_min": report.cache_hit_rate,
+        "confirmed_reads_min": report.confirmed_reads,
+        "stale_reads_min": report.stale_reads,
+    }
+    checks = []
+    for name, expected in spec.expect.items():
+        actual = actuals[name]
+        if name.endswith("_min"):
+            ok = actual >= expected
+        else:
+            ok = actual <= expected
+        checks.append(ExpectationCheck(name, float(expected), float(actual), ok))
+    return checks
+
+
+def run_scenario_file(
+    path: str | Path, request_tracing: bool | None = None
+) -> ScenarioResult:
+    """Load and run one scenario file."""
+    return run_scenario(load_scenario(path), request_tracing=request_tracing)
+
+
+def write_scenario_report(
+    results: list[ScenarioResult], path: str | Path
+) -> None:
+    """Write a combined JSON report atomically (never a torn file)."""
+    payload = {
+        "scenarios": [result.to_dict() for result in results],
+        "ok": all(result.ok for result in results),
+    }
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")

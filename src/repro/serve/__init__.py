@@ -11,6 +11,13 @@ the ROADMAP's north star asks for.  Four pieces, bottom to top:
   caching) whose invalidation hooks subscribe to
   :class:`~repro.core.dynamic.DynamicReachabilityIndex` updates, so
   no stale answer survives an edge insert/delete;
+- :mod:`~repro.serve.replica` — N replicas per shard with read
+  fan-out policies (primary / round-robin / hedged), health checking
+  with failover, and bounded-staleness replication of dynamic updates
+  guarded so a lagging replica never returns an incorrect answer;
+- :mod:`~repro.serve.faults` — serve-side fault schedules (replica
+  crash / slow replica / recovery) replayed mid-traffic by a
+  :class:`ServeFaultInjector`;
 - :mod:`~repro.serve.pipeline` — the serving loop: bounded admission
   queue (overflow sheds), request batching, deadline drops, and
   graceful degradation via
@@ -25,15 +32,43 @@ Architecture, the degradation ladder, and a metrics glossary live in
 
 from repro.serve.bench import COLUMNS, caching_speedup, run_serve_bench
 from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.faults import (
+    ReplicaCrash,
+    ReplicaRecovery,
+    ReplicaSlow,
+    ServeFaultInjector,
+    ServeFaultPlan,
+    ServeFaultSpecError,
+)
 from repro.serve.pipeline import QueryServer, ServeReport
+from repro.serve.replica import (
+    BoundedStalenessReplicator,
+    HealthPolicy,
+    READ_POLICIES,
+    ReplicaSet,
+    ReplicaState,
+    ReplicatedLabelStore,
+)
 from repro.serve.store import LabelShard, ShardedIndexBackend, ShardedLabelStore
 
 __all__ = [
+    "BoundedStalenessReplicator",
     "COLUMNS",
     "CachingBackend",
+    "HealthPolicy",
     "LabelShard",
     "QueryCache",
     "QueryServer",
+    "READ_POLICIES",
+    "ReplicaCrash",
+    "ReplicaRecovery",
+    "ReplicaSet",
+    "ReplicaSlow",
+    "ReplicaState",
+    "ReplicatedLabelStore",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
+    "ServeFaultSpecError",
     "ServeReport",
     "ShardedIndexBackend",
     "ShardedLabelStore",

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.errors import ShardUnavailableError
 from repro.observe.tracing import (
     RequestTrace,
     TraceIdGenerator,
@@ -87,6 +88,15 @@ class ServeReport:
     shard_skew: float = 1.0
     degraded: bool = False
     fallback_queries: int = 0
+    failed: int = 0
+    failovers: int = 0
+    replica_timeouts: int = 0
+    hedges_won: int = 0
+    stale_reads: int = 0
+    confirmed_reads: int = 0
+    forced_catchups: int = 0
+    replication_lag: int = 0
+    replicas_down: int = 0
 
     @property
     def throughput(self) -> float:
@@ -94,6 +104,17 @@ class ServeReport:
         if not self.makespan_seconds:
             return 0.0
         return self.served / self.makespan_seconds
+
+    @property
+    def availability(self) -> float:
+        """Served over offered (1.0 when nothing was offered).
+
+        Sheds, deadline drops, and failed requests all count against
+        availability — the client got no answer either way.
+        """
+        if not self.offered:
+            return 1.0
+        return self.served / self.offered
 
     @property
     def cache_hit_rate(self) -> float:
@@ -105,7 +126,8 @@ class ServeReport:
         """Multi-line human-readable report."""
         lines = [
             f"{self.mode} run: {self.offered} offered, {self.served} served, "
-            f"{self.shed} shed, {self.deadline_dropped} past deadline",
+            f"{self.shed} shed, {self.deadline_dropped} past deadline"
+            + (f", {self.failed} failed" if self.failed else ""),
             f"  throughput {self.throughput:,.0f} q/s over "
             f"{self.makespan_seconds:.3e} s (queue peak {self.queue_peak}, "
             f"{self.batches} batches)",
@@ -123,6 +145,18 @@ class ServeReport:
             lines.append(
                 f"  shards: load skew {self.shard_skew:.2f} "
                 f"(max/mean over {len(self.shard_loads)} shards)"
+            )
+        if self.failovers or self.replica_timeouts or self.replicas_down:
+            lines.append(
+                f"  replicas: {self.failovers} failover(s), "
+                f"{self.replica_timeouts} timed-out reads, "
+                f"{self.replicas_down} down at end "
+                f"(availability {self.availability:.2%})"
+            )
+        if self.stale_reads or self.confirmed_reads:
+            lines.append(
+                f"  staleness: {self.stale_reads} guarded stale reads, "
+                f"{self.confirmed_reads} leader-confirmed"
             )
         if self.degraded:
             lines.append(
@@ -168,6 +202,12 @@ class QueryServer:
         with admission/cache/store/backend child stages.  ``None``
         (the default) follows whether telemetry is enabled; ``False``
         forces it off so the hot path allocates nothing per request.
+    on_advance:
+        Optional ``callback(clock)`` invoked before each batch
+        dispatch with the current simulated time.  This is how
+        scheduled mid-traffic events — replica faults via
+        :class:`~repro.serve.faults.ServeFaultInjector`, replication
+        delivery, scenario update bursts — ride the serving clock.
     """
 
     def __init__(
@@ -179,6 +219,7 @@ class QueryServer:
         cost_model: CostModel | None = None,
         metrics: MetricsRegistry | None = None,
         request_tracing: bool | None = None,
+        on_advance=None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -193,6 +234,7 @@ class QueryServer:
         self._dispatch_seconds = (cost_model or DEFAULT_COST_MODEL).t_hop
         self._metrics = metrics
         self._request_tracing = request_tracing
+        self._on_advance = on_advance
 
     # -- entry points --------------------------------------------------
     def run_open(
@@ -244,7 +286,7 @@ class QueryServer:
         queue: deque[tuple[int, float]] = deque()  # (pair index, arrival)
         latencies: list[float] = []
         clock = 0.0
-        shed = deadline_dropped = served = positives = batches = 0
+        shed = deadline_dropped = served = positives = batches = failed = 0
         queue_peak = 0
         n = len(pairs)
         next_request = 0
@@ -330,22 +372,48 @@ class QueryServer:
                     batch.append((k, arrived))
                 if not batch:
                     continue
+                if self._on_advance is not None:
+                    # Scheduled mid-traffic events (replica faults,
+                    # replication delivery, update bursts) fire here,
+                    # before the batch's queries execute.
+                    self._on_advance(clock)
                 batches += 1
                 dequeued_at = clock
                 clock += self._dispatch_seconds
                 for k, arrived in batch:
+                    error = None
                     if tracing:
                         trace = traces.pop(k)
                         trace.add_stage("admission", dequeued_at - arrived)
                         begin_request(trace)
                         try:
                             answer, seconds = backend.query_with_cost(*pairs[k])
+                        except ShardUnavailableError as exc:
+                            error, seconds = exc, getattr(exc, "seconds", 0.0)
                         finally:
                             end_request()
-                        trace.add_stage("backend", seconds, answer=bool(answer))
+                        if error is None:
+                            trace.add_stage(
+                                "backend", seconds, answer=bool(answer)
+                            )
                     else:
-                        answer, seconds = backend.query_with_cost(*pairs[k])
+                        try:
+                            answer, seconds = backend.query_with_cost(*pairs[k])
+                        except ShardUnavailableError as exc:
+                            error, seconds = exc, getattr(exc, "seconds", 0.0)
                     clock += seconds
+                    if error is not None:
+                        # One lost shard degrades availability; it must
+                        # not crash the server or the rest of the batch.
+                        failed += 1
+                        if tracing:
+                            trace.finish(
+                                "error", clock - arrived, reason="unavailable"
+                            )
+                            trace_event("serve.request", **trace.to_attrs())
+                        if mode == "closed":
+                            heapq.heappush(ready, clock + think_seconds)
+                        continue
                     positives += answer
                     served += 1
                     latency = clock - arrived
@@ -356,7 +424,7 @@ class QueryServer:
                         exemplars.append((latency, trace.trace_id))
                     if mode == "closed":
                         heapq.heappush(ready, clock + think_seconds)
-            span.set(served=served, shed=shed)
+            span.set(served=served, shed=shed, failed=failed)
             span.add_simulated(clock)
 
         latencies.sort()
@@ -375,6 +443,7 @@ class QueryServer:
             p99_seconds=_percentile(latencies, 0.99),
             p999_seconds=_percentile(latencies, 0.999),
             max_seconds=latencies[-1] if latencies else 0.0,
+            failed=failed,
             **self._backend_stats(),
         )
         self._record_metrics(report, latencies, exemplars)
@@ -398,6 +467,9 @@ class QueryServer:
                     shard_loads=store.shard_loads(),
                     shard_skew=store.load_skew(),
                 )
+                replica_stats = getattr(store, "replica_stats", None)
+                if replica_stats is not None:
+                    stats.update(replica_stats())
             if getattr(layer, "degraded", False):
                 stats.update(
                     degraded=True,
@@ -425,6 +497,19 @@ class QueryServer:
         if report.deadline_dropped:
             registry.counter("serve.dropped.deadline").inc(
                 report.deadline_dropped
+            )
+        if report.failed:
+            registry.counter("serve.failed").inc(report.failed)
+        if report.failovers:
+            registry.counter("serve.failovers").inc(report.failovers)
+        if report.replica_timeouts:
+            registry.counter("serve.replica.timeouts").inc(
+                report.replica_timeouts
+            )
+        if report.confirmed_reads or report.stale_reads:
+            registry.counter("serve.replica.stale_reads").inc(report.stale_reads)
+            registry.counter("serve.replica.confirmed_reads").inc(
+                report.confirmed_reads
             )
         registry.counter("serve.batches").inc(report.batches)
         registry.gauge("serve.queue_peak").set(report.queue_peak)

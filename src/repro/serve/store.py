@@ -25,6 +25,7 @@ had to ask:
 from __future__ import annotations
 
 from repro.core.labels import ReachabilityIndex
+from repro.errors import ShardOutOfMemoryError
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.observe import tracing
 from repro.pregel.cost_model import DEFAULT_COST_MODEL, CostModel
@@ -94,11 +95,17 @@ class ShardedLabelStore:
             shard = self.shards[self._shard_of[v]]
             shard.vertices += 1
             shard.entries += len(self._out_labels(v)) + len(self._in_labels(v))
+        budget = self._cost.node_memory_bytes
         for shard in self.shards:
-            self._cost.check_memory(
-                shard.memory_bytes(self._cost.entry_bytes),
-                what=f"labels of shard {shard.shard_id}",
-            )
+            attempted = shard.memory_bytes(self._cost.entry_bytes)
+            if attempted > budget:
+                raise ShardOutOfMemoryError(
+                    shard.shard_id,
+                    attempted,
+                    budget,
+                    vertices=shard.vertices,
+                    entries=shard.entries,
+                )
 
     # -- label access (works for ReachabilityIndex and the dynamic index)
     def _out_labels(self, v: int):

@@ -12,7 +12,11 @@ as a batch.  This module provides both halves, all seeded:
   inter-arrival gaps (requests keep coming whether or not the server
   keeps up — the regime that exposes overload behavior);
 - :func:`uniform_arrivals` — evenly spaced arrivals, the deterministic
-  control for the same offered rate.
+  control for the same offered rate;
+- :func:`phased_arrivals` — piecewise-Poisson phases on one clock
+  (flash crowds: steady → spike → steady);
+- :func:`sine_arrivals` — a sinusoidally modulated Poisson process
+  (diurnal load waves).
 
 Closed-loop (request-on-completion) arrivals depend on service times
 and therefore live in the pipeline itself:
@@ -21,6 +25,7 @@ and therefore live in the pipeline itself:
 
 from __future__ import annotations
 
+import math
 import random
 from bisect import bisect_left
 
@@ -107,3 +112,63 @@ def uniform_arrivals(count: int, rate: float) -> list[float]:
         raise ValueError("rate must be positive")
     gap = 1.0 / rate
     return [(i + 1) * gap for i in range(count)]
+
+
+def phased_arrivals(
+    phases: list[tuple[int, float]], seed: int = 0
+) -> list[float]:
+    """Piecewise-Poisson arrivals: ``phases`` of ``(count, rate)``.
+
+    Each phase continues the previous one's clock, so
+    ``[(1000, 1e5), (3000, 1e6), (1000, 1e5)]`` is a **flash crowd**:
+    steady traffic, a 10× spike, then back to normal.  One seeded RNG
+    spans all phases, so the whole shape is a single deterministic
+    stream.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = random.Random(seed)
+    arrivals: list[float] = []
+    clock = 0.0
+    for count, rate in phases:
+        if count < 0:
+            raise ValueError("phase count must be non-negative")
+        if rate <= 0:
+            raise ValueError("phase rate must be positive")
+        for _ in range(count):
+            clock += rng.expovariate(rate)
+            arrivals.append(clock)
+    return arrivals
+
+
+def sine_arrivals(
+    count: int,
+    base_rate: float,
+    amplitude: float = 0.5,
+    period_seconds: float = 1.0,
+    seed: int = 0,
+) -> list[float]:
+    """A **diurnal wave**: Poisson arrivals whose rate oscillates.
+
+    The instantaneous rate is
+    ``base_rate * (1 + amplitude * sin(2π · t / period_seconds))``,
+    sampled at each arrival (a first-order thinning of the
+    inhomogeneous process — exact enough for a rate that moves slowly
+    against the inter-arrival gap).  ``amplitude`` must stay below 1 so
+    the rate never hits zero.
+    """
+    if base_rate <= 0:
+        raise ValueError("base_rate must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period_seconds <= 0:
+        raise ValueError("period must be positive")
+    rng = random.Random(seed)
+    arrivals = []
+    clock = 0.0
+    two_pi = 2.0 * math.pi
+    for _ in range(count):
+        rate = base_rate * (1.0 + amplitude * math.sin(two_pi * clock / period_seconds))
+        clock += rng.expovariate(rate)
+        arrivals.append(clock)
+    return arrivals

@@ -494,3 +494,75 @@ def test_bench_interrupt_flushes_partial_results(capsys, monkeypatch):
     assert "partial results" in captured.err
     assert "Partial fig8" in captured.out
     assert "0.1250" in captured.out
+
+
+# ----------------------------------------------------------------------
+# Scenarios and serve-bench reports
+# ----------------------------------------------------------------------
+
+_TINY_SCENARIO = """{
+  "name": "cli-tiny",
+  "graph": {"kind": "dag", "vertices": 60, "seed": 1},
+  "traffic": {
+    "pairs": {"count": 200, "seed": 2},
+    "arrivals": {"shape": "poisson", "rate": 300000.0, "seed": 3}
+  },
+  "serving": {"shards": 2, "replicas": 2},
+  "expect": {"incorrect_answers_max": 0, "availability_min": 0.99}
+}
+"""
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "shard_loss_write_burst" in out
+    assert "flash_crowd" in out
+
+
+def test_scenario_run_file_with_report(tmp_path, capsys):
+    scenario = tmp_path / "tiny.json"
+    scenario.write_text(_TINY_SCENARIO)
+    report = tmp_path / "report.json"
+    assert main([
+        "scenario", "run", str(scenario),
+        "--fail-on-assert", "--report", str(report),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out
+    assert "1/1 scenario(s) passed" in out
+    import json as _json
+    payload = _json.loads(report.read_text())
+    assert payload["ok"] is True
+
+
+def test_scenario_run_failure_sets_exit_code(tmp_path, capsys):
+    scenario = tmp_path / "doomed.json"
+    scenario.write_text(_TINY_SCENARIO.replace(
+        '"availability_min": 0.99', '"availability_min": 2.0'
+    ))
+    # Without --fail-on-assert the run reports but exits 0.
+    assert main(["scenario", "run", str(scenario)]) == 0
+    assert main(["scenario", "run", str(scenario), "--fail-on-assert"]) == 1
+    out = capsys.readouterr().out
+    assert "0/1 scenario(s) passed" in out
+
+
+def test_scenario_run_unknown_name(capsys):
+    assert main(["scenario", "run", "no-such-scenario"]) == 2
+    assert "no-such-scenario" in capsys.readouterr().err
+
+
+def test_serve_bench_report_written_atomically(tmp_path, capsys):
+    report = tmp_path / "bench.json"
+    assert main([
+        "serve-bench", "--vertices", "80", "--requests", "200",
+        "--report", str(report),
+    ]) == 0
+    import json as _json
+    payload = _json.loads(report.read_text())
+    assert payload["caching_speedup"] > 0
+    assert set(payload["rows"]) == {"cached", "uncached"}
+    assert all(
+        row["served"] <= row["offered"] for row in payload["rows"].values()
+    )

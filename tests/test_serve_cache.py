@@ -223,3 +223,91 @@ def test_stale_answer_without_invalidation_is_the_counterfactual():
         backend.query_with_cost(s, t)[0] != oracle.query(s, t) for s, t in pairs
     )
     assert stale > 0
+
+
+# -- hypothesis: the property over arbitrary update interleavings ------
+# The deterministic tests above fix one stream; here hypothesis drives
+# the interleaving of inserts, deletes, and reads.  The invariant is
+# the monotonicity contract the serving tier leans on everywhere: an
+# insert may only flip answers False->True, a delete only True->False,
+# and a cache attached to the dynamic index never serves an answer
+# that disagrees with the transitive closure of the current graph.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_N = 24
+
+
+@st.composite
+def _interleavings(draw):
+    """A list of ("read", s, t) / ("insert", u, v) / ("delete", u, v)."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=4, max_value=30))):
+        kind = draw(st.sampled_from(["read", "read", "insert", "delete"]))
+        u = draw(st.integers(min_value=0, max_value=_N - 1))
+        v = draw(st.integers(min_value=0, max_value=_N - 1))
+        ops.append((kind, u, v))
+    return ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9), ops=_interleavings())
+def test_cached_answers_track_closure_under_any_interleaving(seed, ops):
+    graph = random_dag(_N, 2 * _N, seed=seed)
+    dynamic = DynamicReachabilityIndex(graph)
+    store = ShardedLabelStore(dynamic, num_shards=2, cost_model=_NO_LIMIT)
+    backend = CachingBackend(
+        ShardedIndexBackend(store), QueryCache(), cost_model=_NO_LIMIT
+    )
+    backend.cache.attach(dynamic)
+    oracle = TransitiveClosure(dynamic.current_graph())
+    dirty = False
+    for kind, u, v in ops:
+        if kind == "read":
+            if dirty:
+                oracle = TransitiveClosure(dynamic.current_graph())
+                dirty = False
+            before = oracle.query(u, v)
+            answer, _ = backend.query_with_cost(u, v)
+            assert answer == before
+            # Read twice: the second answer comes from the cache and
+            # must agree with the first.
+            again, _ = backend.query_with_cost(u, v)
+            assert again == before
+        elif kind == "insert":
+            if u != v and not dynamic.has_edge(u, v):
+                dynamic.insert_edge(u, v)
+                dirty = True
+        else:
+            if dynamic.has_edge(u, v):
+                dynamic.delete_edge(u, v)
+                dirty = True
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9),
+    insert_ratio=st.floats(min_value=0.0, max_value=1.0),
+    count=st.integers(min_value=1, max_value=12),
+)
+def test_update_direction_respects_monotonicity(seed, insert_ratio, count):
+    # Inserts may only flip False->True; deletes only True->False.
+    graph = random_dag(_N, 2 * _N, seed=seed)
+    dynamic = DynamicReachabilityIndex(graph)
+    pairs = random_pairs(_N, 40, seed=seed)
+    for op, u, v in update_stream(graph, count, insert_ratio=insert_ratio,
+                                  seed=seed):
+        before = {pair: dynamic.query(*pair) for pair in pairs}
+        if op == "insert":
+            dynamic.insert_edge(u, v)
+        else:
+            dynamic.delete_edge(u, v)
+        oracle = TransitiveClosure(dynamic.current_graph())
+        for (s, t), was in before.items():
+            now = oracle.query(s, t)
+            assert now == dynamic.query(s, t)
+            if op == "insert":
+                assert now or not was, f"insert flipped ({s},{t}) True->False"
+            else:
+                assert was or not now, f"delete flipped ({s},{t}) False->True"

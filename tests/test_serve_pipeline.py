@@ -6,6 +6,7 @@ from repro.baselines.transitive_closure import TransitiveClosure
 from repro.core.build import build_index
 from repro.graph.generators import social_graph
 from repro.pregel.cost_model import CostModel
+from repro.errors import ShardUnavailableError
 from repro.query import FallbackBackend
 from repro.serve import (
     CachingBackend,
@@ -215,3 +216,92 @@ def test_serve_metrics_recorded_under_telemetry_session(graph, backend):
         assert "serve.latency_seconds" in registry
     # Outside the session, nothing leaks into the global registry.
     assert "serve.requests" not in current_metrics()
+
+
+# -- replica-aware serving ---------------------------------------------
+
+class _FlakyBackend:
+    """Fails every ``nth`` query with ShardUnavailableError."""
+
+    def __init__(self, nth=3, seconds=1e-5):
+        self.nth = nth
+        self.seconds = seconds
+        self.calls = 0
+
+    def query_with_cost(self, s, t):
+        self.calls += 1
+        if self.calls % self.nth == 0:
+            error = ShardUnavailableError(0, 2)
+            error.seconds = self.seconds
+            raise error
+        return False, self.seconds
+
+
+def test_unavailable_shards_count_as_failed_not_served():
+    server = QueryServer(_FlakyBackend(nth=3), cost_model=_NO_LIMIT)
+    report = server.run_open([(0, 1)] * 30, uniform_arrivals(30, rate=100.0))
+    assert report.failed == 10
+    assert report.served == 20
+    assert report.served + report.shed + report.deadline_dropped \
+        + report.failed == report.offered
+    assert report.availability == pytest.approx(20 / 30)
+    assert f"{report.failed} failed" in report.summary()
+
+
+def test_availability_is_one_when_nothing_fails(graph, backend):
+    pairs = random_pairs(graph.num_vertices, 50, seed=2)
+    report = QueryServer(backend, cost_model=_NO_LIMIT).run_open(
+        pairs, uniform_arrivals(50, rate=1000.0)
+    )
+    assert report.failed == 0
+    assert report.availability == 1.0
+
+
+def test_on_advance_hook_sees_a_monotone_clock(graph, backend):
+    clocks = []
+    server = QueryServer(
+        backend, cost_model=_NO_LIMIT, batch_size=8,
+        on_advance=clocks.append,
+    )
+    pairs = random_pairs(graph.num_vertices, 100, seed=3)
+    report = server.run_open(pairs, uniform_arrivals(100, rate=100000.0))
+    assert report.served == 100
+    assert clocks, "the hook must fire at least once per batch"
+    assert clocks == sorted(clocks)
+    assert len(clocks) == report.batches
+
+
+def test_replicated_store_drives_end_to_end_failover(graph):
+    # A full pipeline run over the replicated store: crash the primary
+    # of every shard mid-run via the fault injector and require that
+    # the run stays correct and the failovers land in the report.
+    from repro.baselines.transitive_closure import TransitiveClosure
+    from repro.serve import (
+        HealthPolicy,
+        ReplicatedLabelStore,
+        ServeFaultInjector,
+        ServeFaultPlan,
+    )
+
+    index = build_index(graph, cost_model=_NO_LIMIT).index
+    store = ReplicatedLabelStore(
+        index, num_shards=2, cost_model=_NO_LIMIT, replicas=2,
+        health=HealthPolicy(failure_threshold=2),
+    )
+    plan = ServeFaultPlan.parse("crash=0.0@0.0002,crash=1.0@0.0002")
+    injector = ServeFaultInjector(plan, store)
+    server = QueryServer(
+        ShardedIndexBackend(store), cost_model=_NO_LIMIT,
+        on_advance=injector.advance,
+    )
+    pairs = random_pairs(graph.num_vertices, 400, seed=5)
+    arrivals = uniform_arrivals(400, rate=400000.0)
+    report = server.run_open(pairs, arrivals)
+    assert report.failovers == 2
+    assert report.replicas_down == 2
+    assert report.failed == 0  # the surviving replicas absorbed it all
+    oracle = TransitiveClosure(graph)
+    # Spot-check: the store still answers correctly post-failover.
+    for s, t in pairs[:50]:
+        assert store.fetch(s, t)[0] == oracle.query(s, t)
+    assert "failover" in report.summary()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.transitive_closure import TransitiveClosure
 from repro.core.build import build_index
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, ShardOutOfMemoryError
 from repro.graph.generators import social_graph
 from repro.graph.partition import (
     HashPartitioner,
@@ -65,6 +65,23 @@ def test_per_shard_memory_budget_enforced(index):
     tiny = CostModel(node_memory_bytes=8, time_limit_seconds=None)
     with pytest.raises(OutOfMemoryError):
         ShardedLabelStore(index, num_shards=2, cost_model=tiny)
+
+
+def test_shard_oom_names_the_shard_and_the_numbers(index):
+    tiny = CostModel(node_memory_bytes=8, time_limit_seconds=None)
+    with pytest.raises(ShardOutOfMemoryError) as excinfo:
+        ShardedLabelStore(index, num_shards=2, cost_model=tiny)
+    err = excinfo.value
+    # Still catchable as the generic budget error.
+    assert isinstance(err, OutOfMemoryError)
+    assert err.shard_id in (0, 1)
+    assert err.budget_bytes == 8
+    assert err.attempted_bytes > err.budget_bytes
+    message = str(err)
+    assert f"label shard {err.shard_id}" in message
+    assert f"{err.attempted_bytes:,}" in message
+    assert "the per-shard budget is 8 bytes" in message
+    assert "rebalance the partitioner or add shards" in message
 
 
 def test_cross_shard_fetch_costs_more_than_local(index):

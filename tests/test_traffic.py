@@ -6,7 +6,9 @@ import pytest
 
 from repro.workloads.traffic import (
     ZipfSampler,
+    phased_arrivals,
     poisson_arrivals,
+    sine_arrivals,
     uniform_arrivals,
     zipf_pairs,
 )
@@ -84,3 +86,51 @@ def test_arrival_rate_validation():
         poisson_arrivals(10, rate=0.0)
     with pytest.raises(ValueError):
         uniform_arrivals(10, rate=-1.0)
+
+
+# -- scenario traffic shapes -------------------------------------------
+
+def test_phased_arrivals_continue_the_clock():
+    arrivals = phased_arrivals([(100, 1e5), (300, 1e6), (100, 1e5)], seed=1)
+    assert len(arrivals) == 500
+    assert arrivals == sorted(arrivals)
+    assert arrivals == phased_arrivals(
+        [(100, 1e5), (300, 1e6), (100, 1e5)], seed=1
+    )
+    # The spike phase is denser than the shoulders.
+    shoulder = arrivals[99] - arrivals[0]
+    spike = arrivals[399] - arrivals[100]
+    assert spike / 299 < shoulder / 99
+
+
+def test_phased_arrivals_validation():
+    with pytest.raises(ValueError, match="at least one phase"):
+        phased_arrivals([])
+    with pytest.raises(ValueError, match="rate must be positive"):
+        phased_arrivals([(10, 0.0)])
+    with pytest.raises(ValueError, match="count must be non-negative"):
+        phased_arrivals([(-1, 1e5)])
+
+
+def test_sine_arrivals_oscillate_around_base_rate():
+    period = 0.01
+    arrivals = sine_arrivals(4000, 1e6, amplitude=0.8,
+                             period_seconds=period, seed=2)
+    assert len(arrivals) == 4000
+    assert arrivals == sorted(arrivals)
+    assert arrivals == sine_arrivals(4000, 1e6, amplitude=0.8,
+                                     period_seconds=period, seed=2)
+    # Bucket arrivals by phase within the period: the crest
+    # (first half-period) must out-draw the trough (second half).
+    crest = sum(1 for t in arrivals if (t % period) < period / 2)
+    trough = len(arrivals) - crest
+    assert crest > 1.2 * trough
+
+
+def test_sine_arrivals_validation():
+    with pytest.raises(ValueError, match="base_rate"):
+        sine_arrivals(10, 0.0)
+    with pytest.raises(ValueError, match="amplitude"):
+        sine_arrivals(10, 1e5, amplitude=1.0)
+    with pytest.raises(ValueError, match="period"):
+        sine_arrivals(10, 1e5, period_seconds=0.0)
