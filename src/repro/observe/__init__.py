@@ -14,7 +14,14 @@ into request-level and operator-level answers:
   accounting and multi-window burn-rate alerts;
 - :mod:`repro.observe.dashboard` — the ``repro top`` model: a full
   dashboard (throughput, percentiles, hit/shed rates, shard traffic,
-  alerts, worst traces) computed from an exported JSONL trace.
+  replication health, alerts, worst traces) computed from an exported
+  JSONL trace;
+- :mod:`repro.observe.incident` — the flight recorder: a bounded ring
+  buffer over the unified event stream, trigger engine landing
+  self-contained incident bundles, and a causal engine producing
+  ranked root-cause post-mortems (``repro incident``);
+- :mod:`repro.observe.openmetrics` — one-shot OpenMetrics text
+  exposition of a dashboard snapshot (``repro top --openmetrics``).
 
 Nothing here imports from :mod:`repro.serve`; the serving pipeline
 imports *this* package, keeping the dependency one-way.
@@ -27,6 +34,17 @@ from repro.observe.dashboard import (
     format_request,
     requests_from_records,
 )
+from repro.observe.incident import (
+    FlightRecorder,
+    IncidentReport,
+    RootCause,
+    SLOBurnTrigger,
+    TriggerEngine,
+    analyze_bundle,
+    list_bundles,
+    load_bundle,
+)
+from repro.observe.openmetrics import render_openmetrics
 from repro.observe.slo import (
     BurnRate,
     BurnWindow,
@@ -58,19 +76,25 @@ __all__ = [
     "BurnRate",
     "BurnWindow",
     "DashboardModel",
+    "FlightRecorder",
     "HotKey",
     "HotKeyDetector",
+    "IncidentReport",
     "LatencyRegressionDetector",
     "RequestRecord",
     "RequestTrace",
     "RollingAggregator",
+    "RootCause",
+    "SLOBurnTrigger",
     "SLOSpec",
     "SLOStatus",
     "StageSpan",
     "TraceIdGenerator",
+    "TriggerEngine",
     "WindowRow",
     "WindowSnapshot",
     "add_stage",
+    "analyze_bundle",
     "begin_request",
     "current_request",
     "default_windows",
@@ -78,6 +102,9 @@ __all__ = [
     "evaluate_slo",
     "evaluate_slos",
     "format_request",
+    "list_bundles",
+    "load_bundle",
     "load_slo_specs",
+    "render_openmetrics",
     "requests_from_records",
 ]

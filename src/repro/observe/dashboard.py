@@ -156,6 +156,16 @@ class DashboardModel:
     windows: list[WindowRow]
     worst: list[RequestRecord]
     slos: list[SLOStatus]
+    # Replication health, rebuilt from stage attrs + replica.lag events.
+    confirmed_reads: int = 0
+    stale_reads: int = 0
+    forced_catchups: int = 0
+    hedges_won: int = 0
+    replication_lag_peak: int = 0
+    group_lag_peaks: dict[str, int] = field(default_factory=dict)
+    #: Open incident summaries (see repro.observe.incident), attached
+    #: by the CLI when ``--incidents`` points at a bundle directory.
+    incidents: list[dict] = field(default_factory=list)
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -170,6 +180,7 @@ class DashboardModel:
         slowest: int = 5,
         hot_share: float = 0.05,
         regression_factor: float = 2.0,
+        incidents: list[dict] | None = None,
     ) -> "DashboardModel":
         """Build the model from raw trace records.
 
@@ -185,6 +196,18 @@ class DashboardModel:
             if record.get("kind") == "event"
             and record.get("name") == "serve.failover"
         )
+        # Replicator lag samples: the store emits one replica.lag event
+        # whenever the worst follower lag changes, carrying per-group
+        # lags; the dashboard keeps the peaks.
+        replication_lag_peak = 0
+        group_lag_peaks: dict[str, int] = {}
+        for record in records:
+            if record.get("kind") != "event" or record.get("name") != "replica.lag":
+                continue
+            attrs = record.get("attrs", {})
+            replication_lag_peak = max(replication_lag_peak, attrs.get("lag", 0))
+            for group, lag in (attrs.get("groups") or {}).items():
+                group_lag_peaks[group] = max(group_lag_peaks.get(group, 0), lag)
         requests = requests_from_records(records)
         run_ids: list = []
         for request in requests:
@@ -214,12 +237,14 @@ class DashboardModel:
 
         cache_hits = cache_misses = store_fetches = remote_fetches = 0
         positives = 0
+        confirmed_reads = forced_catchups = hedges_won = stale_reads = 0
         shard_loads: dict[int, int] = {}
         stage_counts: dict[str, int] = {}
         fully_traced = 0
         server_stages = set(SERVER_STAGES)
         for request in requests:
             seen = set()
+            lagged_store = False
             for stage in request.stages:
                 name = stage.get("stage", "?")
                 seen.add(name)
@@ -231,6 +256,10 @@ class DashboardModel:
                         cache_misses += 1
                 elif name == "store":
                     store_fetches += 1
+                    if stage.get("hedge_won"):
+                        hedges_won += 1
+                    if stage.get("lag"):
+                        lagged_store = True
                     home = stage.get("home")
                     if home is not None:
                         shard_loads[home] = shard_loads.get(home, 0) + 1
@@ -240,6 +269,14 @@ class DashboardModel:
                         shard_loads[remote] = shard_loads.get(remote, 0) + 1
                 elif name == "backend" and stage.get("answer"):
                     positives += 1
+            if "confirm" in seen:
+                confirmed_reads += 1
+            if "catchup" in seen:
+                forced_catchups += 1
+            # A guarded stale read: the store served from a lagging
+            # follower and monotonicity proved no confirmation needed.
+            if lagged_store and "confirm" not in seen and "catchup" not in seen:
+                stale_reads += 1
             if request.outcome == "served" and server_stages <= seen:
                 fully_traced += 1
         traced_fraction = (
@@ -285,6 +322,13 @@ class DashboardModel:
             windows=windows,
             worst=worst,
             slos=slos,
+            confirmed_reads=confirmed_reads,
+            stale_reads=stale_reads,
+            forced_catchups=forced_catchups,
+            hedges_won=hedges_won,
+            replication_lag_peak=replication_lag_peak,
+            group_lag_peaks=dict(sorted(group_lag_peaks.items())),
+            incidents=list(incidents or []),
         )
 
     @staticmethod
@@ -411,6 +455,15 @@ class DashboardModel:
             },
             "stage_counts": dict(sorted(self.stage_counts.items())),
             "traced_fraction": self.traced_fraction,
+            "replication": {
+                "confirmed_reads": self.confirmed_reads,
+                "stale_reads": self.stale_reads,
+                "forced_catchups": self.forced_catchups,
+                "hedges_won": self.hedges_won,
+                "lag_peak": self.replication_lag_peak,
+                "group_lag_peaks": dict(self.group_lag_peaks),
+            },
+            "incidents": list(self.incidents),
             "windows": [w.to_dict() for w in self.windows],
             "slos": [s.to_dict() for s in self.slos],
             "alerts": self.firing_alerts,
@@ -459,7 +512,40 @@ class DashboardModel:
                 f"  shards: {self.store_fetches} fetches "
                 f"({self.remote_fetches} remote)  " + " ".join(loads)
             )
+        if (
+            self.confirmed_reads
+            or self.stale_reads
+            or self.forced_catchups
+            or self.hedges_won
+            or self.replication_lag_peak
+        ):
+            groups = " ".join(
+                f"g{group}:{lag}"
+                for group, lag in sorted(self.group_lag_peaks.items())
+            )
+            lines.append(
+                f"  replication: lag peak {self.replication_lag_peak}"
+                + (f" ({groups})" if groups else "")
+                + f"  confirmed {self.confirmed_reads}"
+                f"  stale {self.stale_reads}"
+                f"  catchups {self.forced_catchups}"
+                f"  hedges won {self.hedges_won}"
+            )
         lines.append(f"  traced: {self.traced_fraction:.1%} of served requests")
+
+        if self.incidents:
+            lines.append("")
+            lines.append(f"Open incidents ({len(self.incidents)})")
+            for incident in self.incidents:
+                lines.append(
+                    f"  {incident.get('id', '?')}  {incident.get('kind', '?')} "
+                    f"at {incident.get('at', 0.0):.3e}s"
+                    + (
+                        f"  -> {incident['root_cause']}"
+                        if incident.get("root_cause")
+                        else ""
+                    )
+                )
 
         if self.windows:
             lines.append("")

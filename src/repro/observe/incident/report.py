@@ -1,0 +1,139 @@
+"""Bundle IO and the ``repro incident`` presentation layer.
+
+Bundles are plain JSON files written atomically by the trigger engine;
+this module loads them back, lists a directory of them (oldest first,
+by trigger time), and renders the one-line / full-dump / post-mortem
+views behind ``repro incident list|show|report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observe.incident.causal import analyze_bundle
+
+#: Events shown by ``repro incident show`` before truncating.
+SHOW_EVENT_LIMIT = 40
+
+
+def load_bundle(path: str | Path) -> dict:
+    """Read one bundle back from disk."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "id" not in data or "events" not in data:
+        raise ValueError(f"{path}: not an incident bundle")
+    return data
+
+
+def list_bundles(directory: str | Path) -> list[tuple[Path, dict]]:
+    """Every readable bundle under ``directory``, by trigger time."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    bundles = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            bundles.append((path, load_bundle(path)))
+        except (ValueError, json.JSONDecodeError):
+            continue  # a directory may hold non-bundle JSON; skip it
+    bundles.sort(key=lambda item: (item[1].get("at", 0.0), item[1].get("id", "")))
+    return bundles
+
+
+def find_bundle(ref: str, directory: str | Path) -> Path:
+    """Resolve a bundle reference: a path, an id, or an id prefix."""
+    as_path = Path(ref)
+    if as_path.is_file():
+        return as_path
+    directory = Path(directory)
+    exact = directory / f"{ref}.json"
+    if exact.is_file():
+        return exact
+    matches = [
+        path
+        for path, bundle in list_bundles(directory)
+        if bundle.get("id", "").startswith(ref)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise FileNotFoundError(
+            f"no incident bundle {ref!r} under {directory}"
+        )
+    names = ", ".join(p.stem for p in matches)
+    raise FileNotFoundError(f"ambiguous incident {ref!r}: matches {names}")
+
+
+def summarize_bundle(bundle: dict) -> dict:
+    """The compact row ``repro incident list`` and ``repro top`` show."""
+    report = analyze_bundle(bundle)
+    cause = report.root_cause
+    return {
+        "id": bundle.get("id", "?"),
+        "kind": bundle.get("kind", "?"),
+        "at": bundle.get("at", 0.0),
+        "events": len(bundle.get("events", ())),
+        "context": dict(bundle.get("context", {})),
+        "root_cause": cause.description if cause else None,
+        "root_cause_kind": cause.kind if cause else None,
+    }
+
+
+def format_bundle_row(summary: dict) -> str:
+    """One incident as a single aligned console line."""
+    context = summary.get("context") or {}
+    where = context.get("scenario") or context.get("run") or ""
+    line = (
+        f"{summary['id']:<34} {summary['kind']:<18} "
+        f"at {summary['at']:.3e}s  {summary['events']:>5} events"
+    )
+    if where:
+        line += f"  [{where}]"
+    if summary.get("root_cause"):
+        line += f"\n{'':<34} -> {summary['root_cause']}"
+    return line
+
+
+def render_bundle(bundle: dict) -> str:
+    """The ``repro incident show`` dump: header, details, raw events."""
+    lines = [
+        f"incident {bundle.get('id', '?')}  kind={bundle.get('kind', '?')}  "
+        f"at {bundle.get('at', 0.0):.3e}s"
+    ]
+    for key, value in sorted((bundle.get("context") or {}).items()):
+        lines.append(f"  {key}: {value}")
+    details = bundle.get("details") or {}
+    if details:
+        lines.append("  trigger details:")
+        for key, value in sorted(details.items()):
+            lines.append(f"    {key}: {value}")
+    recorder = bundle.get("recorder") or {}
+    if recorder:
+        lines.append(
+            f"  recorder: {recorder.get('recorded', '?')} recorded, "
+            f"{recorder.get('dropped', '?')} dropped, "
+            f"{recorder.get('bytes_used', '?')}/{recorder.get('max_bytes', '?')} "
+            "bytes"
+        )
+    events = bundle.get("events", [])
+    shown = events[-SHOW_EVENT_LIMIT:]
+    lines.append(f"  events ({len(events)} buffered"
+                 + (f", last {len(shown)} shown" if len(shown) < len(events) else "")
+                 + "):")
+    for event in shown:
+        attrs = {
+            k: v
+            for k, v in event.items()
+            if k not in ("id", "at", "event", "stages")
+        }
+        text = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            f"    #{event.get('id', '?'):<6} {event.get('at', 0.0):.3e}s  "
+            f"{event.get('event', '?')}" + (f"  {text}" if text else "")
+        )
+    return "\n".join(lines)
+
+
+def render_incident_report(bundle: dict) -> str:
+    """The ``repro incident report`` post-mortem view."""
+    return analyze_bundle(bundle).render()

@@ -27,6 +27,8 @@ from repro.bench.results import atomic_write_text
 from repro.core.dynamic import DynamicReachabilityIndex
 from repro.core.tol import tol_index
 from repro.graph.partition import PARTITIONER_STRATEGIES
+from repro.observe.incident import FlightRecorder, TriggerEngine
+from repro.observe.slo import SLOSpec
 from repro.scenarios.spec import ScenarioSpec, load_scenario
 from repro.serve.cache import CachingBackend, QueryCache
 from repro.serve.faults import ServeFaultInjector
@@ -82,6 +84,10 @@ class ScenarioResult:
     audited: int = 0
     incorrect_answers: int = 0
     events: list[dict] = field(default_factory=list)
+    #: Incident bundles the flight recorder landed during the run
+    #: (``{"id", "kind", "at", "path"}`` each; empty without a
+    #: ``incident_dir``).
+    incidents: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +113,11 @@ class ScenarioResult:
         if self.events:
             names = [e["event"] for e in self.events]
             lines.append(f"  events: {', '.join(names)}")
+        if self.incidents:
+            lines.append(
+                f"  incidents: {len(self.incidents)} bundle(s) — "
+                + ", ".join(i["id"] for i in self.incidents)
+            )
         lines.extend(check.render() for check in self.checks)
         return "\n".join(lines)
 
@@ -138,6 +149,7 @@ class ScenarioResult:
                 "incorrect_answers": self.incorrect_answers,
             },
             "events": self.events,
+            "incidents": self.incidents,
             "checks": [
                 {
                     "name": c.name,
@@ -150,10 +162,50 @@ class ScenarioResult:
         }
 
 
+def _expected_span(traffic) -> float:
+    """The traffic's expected simulated span, for burn-window sizing."""
+    if traffic.shape == "flash":
+        return sum(count / rate for count, rate in traffic.phases)
+    return traffic.total_requests / traffic.rate
+
+
+def _incident_slos(spec: ScenarioSpec) -> list[SLOSpec]:
+    """SLOs the trigger engine tracks online, derived from ``expect``.
+
+    The availability target comes from the scenario's own
+    ``availability_min`` (clamped into the open interval SLOSpec
+    accepts), so a run that burns through the budget the scenario
+    promises to keep is exactly what lands an ``slo_burn`` bundle.
+    """
+    target = spec.expect.get("availability_min", 0.999)
+    target = min(max(float(target), 0.5), 0.9999)
+    slos = [SLOSpec(name="scenario-availability", kind="availability", target=target)]
+    p99 = spec.expect.get("p99_max_seconds")
+    if p99:
+        slos.append(
+            SLOSpec(
+                name="scenario-latency",
+                kind="latency",
+                target=0.99,
+                threshold_seconds=float(p99),
+            )
+        )
+    return slos
+
+
 def run_scenario(
-    spec: ScenarioSpec, request_tracing: bool | None = None
+    spec: ScenarioSpec,
+    request_tracing: bool | None = None,
+    incident_dir: str | Path | None = None,
 ) -> ScenarioResult:
-    """Execute one scenario and grade its expectations."""
+    """Execute one scenario and grade its expectations.
+
+    With ``incident_dir`` a :class:`~repro.observe.incident.FlightRecorder`
+    rides the run — subscribed to the store's event stream and fed
+    every ``serve.request`` terminal — and a trigger engine lands
+    incident bundles there on failovers, unavailable shards, online
+    SLO burn, and (after grading) failed expectations.
+    """
     graph = spec.graph.build()
     serving = spec.serving
     partitioner = PARTITIONER_STRATEGIES[serving.partitioner](
@@ -234,6 +286,20 @@ def run_scenario(
         update_cursor[0] = cursor
         injector.advance(clock)
 
+    # --- flight recorder + incident triggers -------------------------
+    recorder = engine = None
+    if incident_dir is not None:
+        recorder = FlightRecorder()
+        engine = TriggerEngine(
+            recorder,
+            incident_dir,
+            slos=_incident_slos(spec),
+            span_hint=_expected_span(spec.traffic),
+            context={"scenario": spec.name},
+        )
+        recorder.add_listener(engine.observe)
+        store.subscribe(recorder.record_event)
+
     # --- serve --------------------------------------------------------
     server = QueryServer(
         backend,
@@ -242,6 +308,7 @@ def run_scenario(
         deadline_seconds=serving.deadline_seconds,
         request_tracing=request_tracing,
         on_advance=on_advance,
+        recorder=recorder,
     )
     pairs, arrivals = spec.traffic.build(graph.num_vertices)
     report = server.run_open(pairs, arrivals)
@@ -257,6 +324,26 @@ def run_scenario(
             incorrect += answer != oracle.query(s, t)
 
     checks = _grade(spec, report, incorrect)
+    if engine is not None:
+        failed_checks = [c for c in checks if not c.ok]
+        if failed_checks:
+            # Expectation failures always land a bundle, even when no
+            # runtime trigger fired: this is the run's only
+            # scenario_assertion fire, so no cooldown can suppress it.
+            engine.fire(
+                "scenario_assertion",
+                report.makespan_seconds,
+                details={
+                    "checks": [
+                        {
+                            "name": c.name,
+                            "expected": c.expected,
+                            "actual": c.actual,
+                        }
+                        for c in failed_checks
+                    ]
+                },
+            )
     return ScenarioResult(
         spec=spec,
         report=report,
@@ -264,6 +351,7 @@ def run_scenario(
         audited=audited,
         incorrect_answers=incorrect,
         events=list(store.events),
+        incidents=list(engine.incidents) if engine is not None else [],
     )
 
 
@@ -325,10 +413,16 @@ def _grade(
 
 
 def run_scenario_file(
-    path: str | Path, request_tracing: bool | None = None
+    path: str | Path,
+    request_tracing: bool | None = None,
+    incident_dir: str | Path | None = None,
 ) -> ScenarioResult:
     """Load and run one scenario file."""
-    return run_scenario(load_scenario(path), request_tracing=request_tracing)
+    return run_scenario(
+        load_scenario(path),
+        request_tracing=request_tracing,
+        incident_dir=incident_dir,
+    )
 
 
 def write_scenario_report(

@@ -208,6 +208,13 @@ class QueryServer:
         scheduled mid-traffic events — replica faults via
         :class:`~repro.serve.faults.ServeFaultInjector`, replication
         delivery, scenario update bursts — ride the serving clock.
+    recorder:
+        Optional :class:`~repro.observe.incident.recorder.FlightRecorder`:
+        every terminal ``serve.request`` record (served, shed,
+        deadline-dropped, failed) is also appended to it on the
+        serving clock, feeding the incident trigger engine.  Attaching
+        a recorder turns request tracing on (unless explicitly forced
+        off) so the records carry trace ids and stage chains.
     """
 
     def __init__(
@@ -220,6 +227,7 @@ class QueryServer:
         metrics: MetricsRegistry | None = None,
         request_tracing: bool | None = None,
         on_advance=None,
+        recorder=None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -235,6 +243,7 @@ class QueryServer:
         self._metrics = metrics
         self._request_tracing = request_tracing
         self._on_advance = on_advance
+        self._recorder = recorder
 
     # -- entry points --------------------------------------------------
     def run_open(
@@ -290,14 +299,27 @@ class QueryServer:
         queue_peak = 0
         n = len(pairs)
         next_request = 0
-        # Request tracing: off by default unless telemetry is on, and
-        # forceable either way.  When off, the loop below touches none
-        # of this — no per-request allocation at all.
+        # Request tracing: off by default unless telemetry is on or a
+        # flight recorder wants the records, and forceable either way.
+        # When off, the loop below touches none of this — no
+        # per-request allocation at all.
+        recorder = self._recorder
         tracing = (
             self._request_tracing
             if self._request_tracing is not None
-            else enabled()
+            else enabled() or recorder is not None
         )
+        if not tracing:
+            recorder = None
+
+        def terminal(at: float, trace: RequestTrace, **extra) -> None:
+            """Emit one finished request to telemetry + the recorder."""
+            attrs = trace.to_attrs()
+            attrs.update(extra)
+            trace_event("serve.request", **attrs)
+            if recorder is not None:
+                recorder.record("serve.request", at, **attrs)
+
         trace_ids = TraceIdGenerator() if tracing else None
         traces: dict[int, RequestTrace] = {}
         exemplars: list[tuple[float, str]] = []  # (latency, trace id)
@@ -341,7 +363,7 @@ class QueryServer:
                                 trace_ids.next_id(), source, target, arrived
                             )
                             dropped.finish("shed", reason="queue_full")
-                            trace_event("serve.request", **dropped.to_attrs())
+                            terminal(clock, dropped)
                         if mode == "closed":  # the client retries at once
                             heapq.heappush(ready, clock)
                     else:
@@ -365,7 +387,7 @@ class QueryServer:
                             expired.finish(
                                 "deadline", clock - arrived, reason="deadline"
                             )
-                            trace_event("serve.request", **expired.to_attrs())
+                            terminal(clock, expired)
                         if mode == "closed":
                             heapq.heappush(ready, clock + think_seconds)
                         continue
@@ -410,7 +432,13 @@ class QueryServer:
                             trace.finish(
                                 "error", clock - arrived, reason="unavailable"
                             )
-                            trace_event("serve.request", **trace.to_attrs())
+                            # The lost shard rides along so the
+                            # incident trigger can attribute the error.
+                            shard = getattr(error, "shard_id", None)
+                            if shard is not None:
+                                terminal(clock, trace, shard=shard)
+                            else:
+                                terminal(clock, trace)
                         if mode == "closed":
                             heapq.heappush(ready, clock + think_seconds)
                         continue
@@ -420,7 +448,7 @@ class QueryServer:
                     latencies.append(latency)
                     if tracing:
                         trace.finish("served", latency)
-                        trace_event("serve.request", **trace.to_attrs())
+                        terminal(clock, trace)
                         exemplars.append((latency, trace.trace_id))
                     if mode == "closed":
                         heapq.heappush(ready, clock + think_seconds)

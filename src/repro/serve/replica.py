@@ -394,6 +394,8 @@ class ReplicatedLabelStore:
         self.events: list[dict] = []
         self.stale_reads = 0
         self.confirmed_reads = 0
+        self._listeners: list = []
+        self._last_lag_sample = 0
 
         n = index.num_vertices
         self._shard_of = [partitioner.node_of(v) for v in range(n)]
@@ -491,10 +493,22 @@ class ReplicatedLabelStore:
             "serve.replica_slow", at, shard=shard, replica=replica, factor=factor
         )
 
+    def subscribe(self, listener) -> None:
+        """Call ``listener(event_dict)`` for every store event (plus
+        ``replica.lag`` samples, which skip the event log) — this is
+        how a :class:`~repro.observe.incident.recorder.FlightRecorder`
+        taps the store."""
+        self._listeners.append(listener)
+
+    def _notify(self, event: dict) -> None:
+        for listener in self._listeners:
+            listener(event)
+
     def _record(self, name: str, at: float, **attrs) -> None:
         event = {"event": name, "at": at, **attrs}
         self.events.append(event)
         trace_event(name, **{k: v for k, v in event.items() if k != "event"})
+        self._notify(event)
 
     def _suspect(self, state: ReplicaState) -> None:
         """Mark a replica suspected and fail over if it was primary."""
@@ -507,11 +521,18 @@ class ReplicatedLabelStore:
         )
         failover = self.replica_sets[state.shard_id].maybe_failover(self.clock)
         if failover is not None:
+            # Stamp the update-log version so the failover can be
+            # ordered against replicator deliveries (the event already
+            # carries its simulated instant in "at").
+            failover["version"] = (
+                self.replicator.version if self.replicator is not None else 0
+            )
             self.events.append(failover)
             trace_event(
                 "serve.failover",
                 **{k: v for k, v in failover.items() if k != "event"},
             )
+            self._notify(failover)
 
     # ------------------------------------------------------------------
     # Background maintenance (pipeline clock hook)
@@ -533,6 +554,7 @@ class ReplicatedLabelStore:
                 if any(not rs.replicas[r].alive for rs in self.replica_sets)
             }
             self.replicator.advance(clock, paused)
+            self._sample_lag(clock)
         for rs in self.replica_sets:
             for state in rs.replicas:
                 if not state.alive and not state.suspected:
@@ -550,6 +572,33 @@ class ReplicatedLabelStore:
                         shard=state.shard_id,
                         replica=state.replica_id,
                     )
+
+    def _sample_lag(self, clock: float) -> None:
+        """Emit a ``replica.lag`` sample when the worst lag changes.
+
+        Samples go to telemetry and subscribed listeners (the flight
+        recorder, the dashboard via the trace) but *not* into
+        :attr:`events` — scenario reports list lifecycle events only.
+        """
+        rep = self.replicator
+        lags = {
+            r: rep.lag(r) for r in range(1, self.replicas_per_shard)
+        }
+        peak = max(lags.values(), default=0)
+        if peak == self._last_lag_sample:
+            return
+        self._last_lag_sample = peak
+        event = {
+            "event": "replica.lag",
+            "at": clock,
+            "lag": peak,
+            "groups": {str(r): lag for r, lag in lags.items() if lag},
+            "version": rep.version,
+        }
+        trace_event(
+            "replica.lag", **{k: v for k, v in event.items() if k != "event"}
+        )
+        self._notify(event)
 
     # ------------------------------------------------------------------
     # The read path
@@ -613,6 +662,8 @@ class ReplicatedLabelStore:
                 attrs["remote"] = target
             if lag:
                 attrs["lag"] = lag
+            if len(chosen) == 2:
+                attrs["hedge_won"] = True
             tracing.ACTIVE.add_stage("store", seconds - guard_seconds, **attrs)
         return answer, seconds
 

@@ -147,6 +147,108 @@ class TestModel:
         assert requests_from_records(records) == []
 
 
+def _request_record(trace_id, stages, outcome="served"):
+    return {
+        "kind": "event",
+        "name": "serve.request",
+        "attrs": {
+            "trace_id": trace_id,
+            "outcome": outcome,
+            "arrival": 0.0,
+            "latency_seconds": 1e-6,
+            "stages": stages,
+        },
+    }
+
+
+class TestReplicationHealth:
+    """Replication counters rebuilt from stage attrs + lag samples."""
+
+    @pytest.fixture()
+    def replicated_model(self):
+        records = [
+            # Confirmed read: lagging follower, guard confirmed with
+            # the leader.
+            _request_record("t-1", [
+                {"stage": "store", "lag": 3},
+                {"stage": "confirm", "ops": 3},
+            ]),
+            # Guarded stale read: lagging follower, monotonicity proved
+            # no confirmation was needed.
+            _request_record("t-2", [{"stage": "store", "lag": 2}]),
+            # Forced catch-up: lag exceeded the staleness bound.
+            _request_record("t-3", [
+                {"stage": "store", "lag": 5},
+                {"stage": "catchup", "ops": 5},
+            ]),
+            # Hedged read resolved by the faster replica; no lag.
+            _request_record("t-4", [{"stage": "store", "hedge_won": True}]),
+            # Replicator lag samples, one per change of the worst lag.
+            {"kind": "event", "name": "replica.lag",
+             "attrs": {"lag": 3, "groups": {"1": 3}, "version": 3}},
+            {"kind": "event", "name": "replica.lag",
+             "attrs": {"lag": 5, "groups": {"1": 5, "2": 2}, "version": 5}},
+            {"kind": "event", "name": "replica.lag",
+             "attrs": {"lag": 0, "groups": {"1": 0, "2": 0}, "version": 5}},
+        ]
+        return DashboardModel.from_records(records)
+
+    def test_counters_rebuilt_from_stages(self, replicated_model):
+        model = replicated_model
+        assert model.confirmed_reads == 1
+        assert model.stale_reads == 1
+        assert model.forced_catchups == 1
+        assert model.hedges_won == 1
+
+    def test_lag_peaks_per_group(self, replicated_model):
+        assert replicated_model.replication_lag_peak == 5
+        assert replicated_model.group_lag_peaks == {"1": 5, "2": 2}
+
+    def test_to_json_has_replication_block(self, replicated_model):
+        payload = json.loads(json.dumps(replicated_model.to_json()))
+        assert payload["replication"] == {
+            "confirmed_reads": 1,
+            "stale_reads": 1,
+            "forced_catchups": 1,
+            "hedges_won": 1,
+            "lag_peak": 5,
+            "group_lag_peaks": {"1": 5, "2": 2},
+        }
+        assert payload["incidents"] == []
+
+    def test_render_shows_replication_line(self, replicated_model):
+        rendered = replicated_model.render()
+        assert (
+            "replication: lag peak 5 (g1:5 g2:2)  confirmed 1  stale 1"
+            "  catchups 0" not in rendered
+        )
+        assert (
+            "replication: lag peak 5 (g1:5 g2:2)  confirmed 1  stale 1"
+            "  catchups 1  hedges won 1" in rendered
+        )
+
+    def test_render_omits_line_without_replication(self):
+        model = DashboardModel.from_records(
+            [_request_record("t-1", [{"stage": "store"}])]
+        )
+        assert "replication:" not in model.render()
+
+    def test_incidents_render_and_serialize(self):
+        incidents = [{
+            "id": "incident-001-failover",
+            "kind": "failover",
+            "at": 2.5e-3,
+            "root_cause": "injected replica crash on shard 0 replica 0",
+        }]
+        model = DashboardModel.from_records([], incidents=incidents)
+        rendered = model.render()
+        assert "Open incidents (1)" in rendered
+        assert "incident-001-failover" in rendered
+        assert "-> injected replica crash" in rendered
+        payload = json.loads(json.dumps(model.to_json()))
+        assert payload["incidents"] == incidents
+
+
 class TestCli:
     @pytest.fixture()
     def trace_file(self, traced_run, tmp_path):
@@ -169,6 +271,39 @@ class TestCli:
 
     def test_top_json_requires_once(self, trace_file, capsys):
         assert main(["top", str(trace_file), "--json"]) == 2
+
+    def test_top_openmetrics_exposition(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--once", "--openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# TYPE repro_serve_requests counter")
+        assert out.endswith("# EOF\n")
+        assert "repro_serve_latency_seconds_bucket" in out
+
+    def test_top_openmetrics_flag_validation(self, trace_file, capsys):
+        assert main(["top", str(trace_file), "--openmetrics"]) == 2
+        assert "--openmetrics needs --once" in capsys.readouterr().err
+        assert main([
+            "top", str(trace_file), "--once", "--openmetrics", "--json",
+        ]) == 2
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_top_incidents_section(self, trace_file, tmp_path, capsys):
+        from repro.observe.incident import FlightRecorder, TriggerEngine
+
+        recorder = FlightRecorder()
+        engine = TriggerEngine(recorder, tmp_path / "incidents")
+        recorder.add_listener(engine.observe)
+        recorder.record("serve.replica_crash", at=0.001, shard=0, replica=0)
+        recorder.record("serve.failover", at=0.002, shard=0,
+                        from_replica=0, to_replica=1, version=1)
+        assert main([
+            "top", str(trace_file), "--once",
+            "--incidents", str(tmp_path / "incidents"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Open incidents (1)" in out
+        assert "incident-001-failover" in out
+        assert "-> injected replica crash" in out
 
     def test_top_missing_file(self, tmp_path, capsys):
         assert main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 2

@@ -49,6 +49,23 @@ class TestRollingAggregator:
         assert snapshot.resets == ("served",)
         assert snapshot.rates == {"served": 8.0}
 
+    def test_two_counter_resets_inside_one_window(self):
+        # A process restart resets *every* counter it owns at once; the
+        # window must report each reset independently and keep other
+        # series' deltas untouched.
+        aggregator = RollingAggregator()
+        aggregator.step(0.0, {"served": 50, "shed": 20, "offered": 70})
+        snapshot = aggregator.step(2.0, {"served": 4, "shed": 1, "offered": 90})
+        assert snapshot.deltas == {"served": 4, "shed": 1, "offered": 20}
+        assert set(snapshot.resets) == {"served", "shed"}
+        # Rates stay non-negative through the double reset...
+        assert snapshot.rates == {"served": 2.0, "shed": 0.5, "offered": 10.0}
+        # ...and the next window is measured against the *reset* values,
+        # not the pre-restart highs.
+        after = aggregator.step(3.0, {"served": 10, "shed": 3, "offered": 95})
+        assert after.deltas == {"served": 6, "shed": 2, "offered": 5}
+        assert after.resets == ()
+
     def test_new_series_mid_stream(self):
         aggregator = RollingAggregator()
         aggregator.step(0.0, {"a": 1})
@@ -90,6 +107,11 @@ class TestHotKeyDetector:
 
     def test_empty_window(self):
         assert HotKeyDetector().observe({}) == []
+
+    def test_empty_window_with_zero_counts(self):
+        # All-zero counts are an empty window too: total 0 must not
+        # divide, and no key can be "100% of nothing".
+        assert HotKeyDetector().observe({"a": 0, "b": 0}) == []
 
     def test_deterministic_tie_break(self):
         detector = HotKeyDetector(share_threshold=0.1, min_count=10)
