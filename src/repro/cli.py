@@ -51,6 +51,7 @@ from repro.fuzz.cases import FAMILIES as FUZZ_FAMILIES
 from repro.graph import generators
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.pregel.cost_model import CostModel, paper_scale_model
+from repro.pregel.engine import ENGINE_NAMES
 from repro.workloads.datasets import DATASETS
 
 _GENERATORS = generators.GRAPH_KINDS
@@ -105,6 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--time-limit", type=float, default=None, metavar="SECONDS",
         help="simulated-time cut-off for the build (default 7200)",
+    )
+    build.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="sim",
+        help="execution engine: 'sim' is the deterministic single-process "
+        "simulator, 'mp' runs the supersteps across real worker processes "
+        "(identical labels; see docs/simulator.md)",
+    )
+    build.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process count for --engine mp (default: cpu count)",
     )
 
     query = sub.add_parser(
@@ -191,6 +202,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="skip delta-debugging of failing cases",
+    )
+    fuzz.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="sim",
+        help="with 'mp', every case additionally cross-checks the "
+        "multiprocessing engine against the simulator "
+        "(the engine-mismatch oracle)",
     )
 
     serve_bench = sub.add_parser(
@@ -556,6 +573,32 @@ def _cmd_build(args) -> int:
         kwargs = dict(
             initial_batch_size=args.batch_size, growth_factor=args.growth_factor
         )
+    if args.engine != "sim":
+        if args.method == "tol":
+            print(
+                "error: --engine needs a cluster method; the serial "
+                "'tol' baseline runs outside the Pregel engines",
+                file=sys.stderr,
+            )
+            return 2
+        if args.faults is not None or args.checkpoint_interval is not None:
+            print(
+                "error: --faults/--checkpoint-interval only work on the "
+                "deterministic simulator; drop them or use --engine sim",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers is not None and args.workers < 1:
+            print("error: --workers must be at least 1", file=sys.stderr)
+            return 2
+        kwargs["engine"] = args.engine
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+    elif args.workers is not None:
+        print(
+            "error: --workers only applies to --engine mp", file=sys.stderr
+        )
+        return 2
     if args.faults is not None or args.checkpoint_interval is not None:
         if args.method == "tol":
             print(
@@ -1020,6 +1063,7 @@ def _cmd_fuzz(args) -> int:
         families=args.families or None,
         failures_dir=args.failures_dir,
         shrink=not args.no_shrink,
+        engine=args.engine,
         progress=lambda message: print(message, file=sys.stderr),
     )
     print(report.render())

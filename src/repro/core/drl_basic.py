@@ -33,6 +33,8 @@ from repro.telemetry import trace_span
 class _TrimmedFloodProgram(VertexProgram):
     """Phase 1: trimmed BFS from every vertex, recording blockers."""
 
+    mp_supported = True
+
     def __init__(self, graph: DiGraph, order: VertexOrder):
         n = graph.num_vertices
         self._graph = graph
@@ -80,10 +82,37 @@ class _TrimmedFloodProgram(VertexProgram):
                 ctx.charge()
                 ctx.send(x, (v, direction))
 
+    # -- multiprocessing-engine hooks ----------------------------------
+    # ``hig_fwd[v]`` is keyed by the *source* ``v`` but written by the
+    # computing vertex ``w``'s owner, so under the mp engine each worker
+    # replica accumulates a disjoint-by-``w`` share of every blocker
+    # set.  The sets are never read during the flood (only by phase 2,
+    # which starts after collection), so a union merge at the end is
+    # exact — and the ``w not in hig`` dedup stays exact too, because
+    # all adds of a given ``w`` happen on one worker.
+    def mp_collect(self, vertices):
+        return (
+            [(w, self.fwd_set[w], self.rev_set[w]) for w in vertices],
+            [(v, s) for v, s in enumerate(self.hig_fwd) if s],
+            [(v, s) for v, s in enumerate(self.hig_rev) if s],
+        )
+
+    def mp_merge(self, collected) -> None:
+        label_sets, hig_fwd, hig_rev = collected
+        for w, fwd, rev in label_sets:
+            self.fwd_set[w] = fwd
+            self.rev_set[w] = rev
+        for v, blockers in hig_fwd:
+            self.hig_fwd[v] |= blockers
+        for v, blockers in hig_rev:
+            self.hig_rev[v] |= blockers
+
 
 class _DescendantFloodProgram(VertexProgram):
     """Phase 2: plain reachability flood from every distinct blocker,
     followed by the Theorem 3 set subtraction in ``finalize``."""
+
+    mp_supported = True
 
     def __init__(self, filtering: _TrimmedFloodProgram, graph: DiGraph):
         n = graph.num_vertices
@@ -131,13 +160,38 @@ class _DescendantFloodProgram(VertexProgram):
                 ctx.charge()
                 ctx.send(x, (u, direction))
 
-    def finalize(self, fctx: FinalizeContext) -> None:
+    def finalize_vertices(self, fctx: FinalizeContext, vertices) -> None:
         """Theorem 3: drop ``w`` from ``L⁻(v)`` when a blocker of ``v``
-        reaches ``w``."""
+        reaches ``w``.  Per-vertex: ``w``'s refinement only writes
+        ``w``'s filtering sets and reads the (complete) blocker sets."""
         filtering = self._filtering
-        for w in range(self._graph.num_vertices):
+        for w in vertices:
             self._refine(fctx, w, filtering.fwd_set[w], filtering.hig_fwd, self.des_fwd[w])
             self._refine(fctx, w, filtering.rev_set[w], filtering.hig_rev, self.des_rev[w])
+
+    # -- multiprocessing-engine hooks ----------------------------------
+    # Collect both the descendant sets and the filtering sets this
+    # worker's finalize pass refined in its replica.
+    def mp_collect(self, vertices):
+        filtering = self._filtering
+        return [
+            (
+                w,
+                self.des_fwd[w],
+                self.des_rev[w],
+                filtering.fwd_set[w],
+                filtering.rev_set[w],
+            )
+            for w in vertices
+        ]
+
+    def mp_merge(self, collected) -> None:
+        filtering = self._filtering
+        for w, des_fwd, des_rev, fwd, rev in collected:
+            self.des_fwd[w] = des_fwd
+            self.des_rev[w] = des_rev
+            filtering.fwd_set[w] = fwd
+            filtering.rev_set[w] = rev
 
     @staticmethod
     def _refine(
@@ -168,8 +222,10 @@ def drl_basic_index(
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
     node_timeline: bool = False,
+    engine: str = "sim",
+    workers: int | None = None,
 ) -> LabelingResult:
-    """Build the TOL index with DRL⁻ (Theorem 3) on a simulated cluster.
+    """Build the TOL index with DRL⁻ (Theorem 3) on a cluster.
 
     May raise :class:`~repro.errors.TimeLimitExceeded`: on graphs with
     many blockers the refinement floods exceed the cut-off, exactly as
@@ -185,6 +241,8 @@ def drl_basic_index(
         partitioner=partitioner,
         faults=faults,
         checkpoint_interval=checkpoint_interval,
+        engine=engine,
+        workers=workers,
     )
     stats = RunStats(num_nodes=cluster.num_nodes)
     stats.per_node_units = [0] * cluster.num_nodes

@@ -45,8 +45,10 @@ def drl_batch_index(
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
     node_timeline: bool = False,
+    engine: str = "sim",
+    workers: int | None = None,
 ) -> LabelingResult:
-    """Build the TOL index with DRL_b on a simulated cluster.
+    """Build the TOL index with DRL_b on a cluster.
 
     Parameters
     ----------
@@ -68,6 +70,11 @@ def drl_batch_index(
         Record the per-node breakdown of every batch into
         ``stats.node_timeline`` (see :mod:`repro.profiling`); batches
         append to one timeline, so super-step numbers restart per batch.
+    engine, workers:
+        Execution engine selection (``"sim"`` or ``"mp"``) and the mp
+        engine's worker-process count; see :mod:`repro.pregel.mp`.
+        Every batch re-forks the workers from the master's accumulated
+        label sets, so batch pruning sees exactly the simulator's state.
     """
     if order is None:
         order = degree_order(graph)
@@ -80,6 +87,8 @@ def drl_batch_index(
         partitioner=partitioner,
         faults=faults,
         checkpoint_interval=checkpoint_interval,
+        engine=engine,
+        workers=workers,
     )
     in_label_sets: list[set[int]] = [set() for _ in range(n)]
     out_label_sets: list[set[int]] = [set() for _ in range(n)]

@@ -15,11 +15,32 @@ from repro.core.labels import LabelingResult
 from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder
-from repro.graph.partition import Partitioner
+from repro.graph.partition import (
+    HashPartitioner,
+    Partitioner,
+    node_assignment,
+)
 from repro.pregel.cost_model import CostModel, shared_memory_model
 
 #: Estimated per-vertex working-state bytes (status maps, lists).
 _WORKING_BYTES_PER_VERTEX = 64
+
+
+def per_core_working_bytes(
+    graph: DiGraph, partitioner: Partitioner
+) -> list[int]:
+    """Estimated working-state bytes per core under ``partitioner``.
+
+    Uses the same :func:`~repro.graph.partition.node_assignment` helper
+    as both execution engines, so the memory estimate and the engines
+    can never disagree on which core owns which vertex.
+    """
+    vertices_per_core = [0] * partitioner.num_nodes
+    for core in node_assignment(partitioner, graph.num_vertices):
+        vertices_per_core[core] += 1
+    return [
+        _WORKING_BYTES_PER_VERTEX * count for count in vertices_per_core
+    ]
 
 
 def drl_multicore_index(
@@ -32,6 +53,8 @@ def drl_multicore_index(
     partitioner: Partitioner | None = None,
     faults: FaultPlan | None = None,
     checkpoint_interval: int | None = None,
+    engine: str = "sim",
+    workers: int | None = None,
 ) -> LabelingResult:
     """Build the TOL index with DRL_b^M on one multi-core machine.
 
@@ -39,11 +62,16 @@ def drl_multicore_index(
     working state exceeds the single machine's budget.  A fault plan
     here models core/process failures (a worker process dying mid-build)
     with the same recovery semantics as the distributed variants.
+    ``engine="mp"`` additionally makes the build *really* multi-core:
+    the supersteps execute across ``workers`` processes, with the same
+    vertex-to-core assignment the memory estimate below is based on.
     """
     if cost_model is None:
         cost_model = shared_memory_model()
+    if partitioner is None:
+        partitioner = HashPartitioner(num_cores)
     cost_model.check_memory(
-        graph.memory_bytes() + _WORKING_BYTES_PER_VERTEX * graph.num_vertices,
+        graph.memory_bytes() + sum(per_core_working_bytes(graph, partitioner)),
         what="DRL_b^M",
     )
     return drl_batch_index(
@@ -56,4 +84,6 @@ def drl_multicore_index(
         partitioner=partitioner,
         faults=faults,
         checkpoint_interval=checkpoint_interval,
+        engine=engine,
+        workers=workers,
     )

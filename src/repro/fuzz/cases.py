@@ -84,6 +84,11 @@ class FuzzCase:
     faults: str | None = None
     updates: tuple[UpdateOp, ...] = ()
     query_sample: int = 150
+    #: Execution engine to cross-check: ``"sim"`` runs everything on the
+    #: simulator; ``"mp"`` additionally builds each label method on the
+    #: multiprocessing engine and diffs the indexes (the
+    #: ``engine-mismatch`` oracle).
+    engine: str = "sim"
 
     # ------------------------------------------------------------------
     def graph(self) -> DiGraph:
@@ -139,6 +144,8 @@ class FuzzCase:
             bits.append(f"faults[{self.faults}]")
         if self.updates:
             bits.append(f"updates={len(self.updates)}")
+        if self.engine != "sim":
+            bits.append(f"engine={self.engine}")
         return " ".join(bits)
 
     # ------------------------------------------------------------------
@@ -160,6 +167,7 @@ class FuzzCase:
             "faults": self.faults,
             "updates": [[op, u, v] for op, u, v in self.updates],
             "query_sample": self.query_sample,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -186,6 +194,7 @@ class FuzzCase:
                 (op, int(u), int(v)) for op, u, v in data.get("updates", ())
             ),
             query_sample=int(data.get("query_sample", 150)),
+            engine=data.get("engine", "sim"),
         )
 
     def save(self, path: str | Path) -> None:

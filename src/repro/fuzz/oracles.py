@@ -15,7 +15,10 @@ messages (empty = pass).  The oracles encode, per the paper:
 - ``fault-equivalence`` — a fault-injected build yields the fault-free
   index (the recovery contract of :mod:`repro.faults`);
 - ``dynamic-vs-rebuild`` — incremental updates maintain exactly the
-  index a full rebuild produces (§V / TOL's dynamic contract).
+  index a full rebuild produces (§V / TOL's dynamic contract);
+- ``engine-mismatch`` — the multiprocessing engine builds the identical
+  index to the simulator for every label method (the equivalence
+  contract of :mod:`repro.pregel.mp`; ``engine="mp"`` cases only).
 
 Oracle *crashes* (unexpected exceptions) are findings too: they are
 reported as failures with a distinct fingerprint instead of aborting
@@ -97,7 +100,7 @@ class CaseContext:
         self.graph = case.graph()
         self.order = degree_order(self.graph)
         self._closure: TransitiveClosure | None = None
-        self._builds: dict[str, ReachabilityIndex] = {}
+        self._builds: dict[tuple[str, str], ReachabilityIndex] = {}
 
     @property
     def closure(self) -> TransitiveClosure:
@@ -106,11 +109,14 @@ class CaseContext:
             self._closure = TransitiveClosure(self.graph)
         return self._closure
 
-    def build(self, method: str) -> ReachabilityIndex:
+    def build(self, method: str, engine: str = "sim") -> ReachabilityIndex:
         """Build (and cache) the index with ``method`` under the case's
         configuration — shared order, cluster size, partitioner, and
-        batch parameters, but no faults (clean builds)."""
-        if method not in self._builds:
+        batch parameters, but no faults (clean builds).  ``engine="mp"``
+        builds on the multiprocessing engine (two workers), used by the
+        ``engine-mismatch`` differential oracle."""
+        key = (method, engine)
+        if key not in self._builds:
             kwargs: dict = {}
             if method in ("drl-", "drl", "drl-b"):
                 kwargs["partitioner"] = self.case.make_partitioner(
@@ -119,7 +125,10 @@ class CaseContext:
             if method in ("drl-b", "drl-b-m"):
                 kwargs["initial_batch_size"] = self.case.batch_size
                 kwargs["growth_factor"] = self.case.growth_factor
-            self._builds[method] = build_index(
+            if engine != "sim":
+                kwargs["engine"] = engine
+                kwargs["workers"] = 2
+            self._builds[key] = build_index(
                 self.graph,
                 method=method,
                 order=self.order,
@@ -127,7 +136,7 @@ class CaseContext:
                 cost_model=_NO_LIMIT,
                 **kwargs,
             ).index
-        return self._builds[method]
+        return self._builds[key]
 
     def query_pairs(self, salt: int = 0) -> list[tuple[int, int]]:
         """All pairs on small graphs, a seeded sample on larger ones."""
@@ -292,6 +301,25 @@ def oracle_dynamic_vs_rebuild(ctx: CaseContext) -> list[str]:
     return violations
 
 
+def oracle_engine_mismatch(ctx: CaseContext) -> list[str]:
+    """The mp engine builds the identical index to the simulator.
+
+    Differential engine check for every label method with an mp-capable
+    program; ``tol`` (serial) and ``drl-b-m`` (same builder as ``drl-b``
+    with a shared-memory cost model) add nothing here.
+    """
+    violations: list[str] = []
+    for method in ("drl-", "drl", "drl-b"):
+        reference = ctx.build(method)
+        built = ctx.build(method, engine="mp")
+        if built != reference:
+            violations.append(
+                f"method {method!r} on the mp engine diverges from sim: "
+                + _index_diff(built, reference)
+            )
+    return violations
+
+
 #: Name → oracle function; the campaign and the shrinker share this.
 ORACLES: dict[str, Callable[[CaseContext], list[str]]] = {
     "methods-agree": oracle_methods_agree,
@@ -302,6 +330,7 @@ ORACLES: dict[str, Callable[[CaseContext], list[str]]] = {
     "condensed": oracle_condensed,
     "fault-equivalence": oracle_fault_equivalence,
     "dynamic-vs-rebuild": oracle_dynamic_vs_rebuild,
+    "engine-mismatch": oracle_engine_mismatch,
 }
 
 
@@ -319,6 +348,8 @@ def oracles_for(case: FuzzCase) -> tuple[str, ...]:
         names.append("fault-equivalence")
     if case.updates:
         names.append("dynamic-vs-rebuild")
+    if case.engine == "mp":
+        names.append("engine-mismatch")
     return tuple(names)
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import islice
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
@@ -174,6 +174,7 @@ def run_fuzz(
     shrink: bool = True,
     oracles: dict | None = None,
     max_vertices: int = 26,
+    engine: str = "sim",
     progress: Callable[[str], None] | None = None,
 ) -> FuzzReport:
     """Run a fuzz campaign; fully deterministic for a given seed.
@@ -184,6 +185,11 @@ def run_fuzz(
     cases of ``--time-budget``'s stream for the same seed.  Failing
     cases are shrunk (unless ``shrink=False``) and written under
     ``failures_dir`` (``None`` disables the files).
+
+    ``engine="mp"`` stamps every case so the ``engine-mismatch`` oracle
+    cross-checks each method's multiprocessing build against the
+    simulator build; the case stream itself is unchanged, so an mp
+    campaign sees exactly the same graphs as a sim one.
     """
     if count is None and time_budget is None:
         raise ValueError("give a case count, a time budget, or both")
@@ -191,6 +197,8 @@ def run_fuzz(
     cases: Iterator[FuzzCase] = _case_iter(
         seed, families=families, max_vertices=max_vertices
     )
+    if engine != "sim":
+        cases = (replace(case, engine=engine) for case in cases)
     if count is not None:
         cases = islice(cases, count)
     start = time.monotonic()

@@ -102,6 +102,10 @@ _CONFIG_STEPS: tuple[Callable[[FuzzCase], FuzzCase | None], ...] = (
         if (c.batch_size, c.growth_factor) != (2, 2.0)
         else None
     ),
+    # Engine-independent failures simplify back to the simulator; an
+    # actual engine-mismatch failure keeps engine="mp" because its
+    # oracle only runs on mp-stamped cases.
+    lambda c: replace(c, engine="sim") if c.engine != "sim" else None,
 )
 
 

@@ -7,6 +7,7 @@ IDs" — a hash partitioner.  Alternatives are provided for ablations.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 
 
 class Partitioner(ABC):
@@ -75,6 +76,17 @@ class BlockPartitioner(Partitioner):
 
     def node_of(self, vertex: int) -> int:
         return (vertex // self.block_size) % self.num_nodes
+
+
+def node_assignment(partitioner: Partitioner, num_vertices: int) -> array:
+    """Materialize the vertex → node map as a compact ``array('q')``.
+
+    Every executor that needs the full assignment — the simulator
+    engine, the multiprocessing engine, and the multi-core memory
+    estimator — goes through this one helper, so a partitioner change
+    can never make two execution paths disagree on vertex placement.
+    """
+    return array("q", map(partitioner.node_of, range(num_vertices)))
 
 
 PARTITIONER_STRATEGIES = {

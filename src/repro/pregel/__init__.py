@@ -1,10 +1,19 @@
-"""Vertex-centric BSP cluster simulator with explicit cost accounting.
+"""Vertex-centric BSP cluster with explicit cost accounting.
 
 This subpackage is the substitute for the paper's self-built MPI
-vertex-centric system (Section VI-A, "Environment"): a deterministic
-single-process engine that preserves BSP semantics and *counts*
-computation and communication, converting them to simulated seconds via
-a calibrated :class:`~repro.pregel.cost_model.CostModel`.
+vertex-centric system (Section VI-A, "Environment").  The BSP contract
+(compute / message routing / barrier / checkpoint hooks) is an explicit
+:class:`~repro.pregel.engine.Engine` interface with two
+implementations:
+
+- :class:`~repro.pregel.engine.SimulatorEngine` — a deterministic
+  single-process engine that preserves BSP semantics and *counts*
+  computation and communication, converting them to simulated seconds
+  via a calibrated :class:`~repro.pregel.cost_model.CostModel`; and
+- :class:`~repro.pregel.mp.MultiprocessEngine` — real parallelism
+  across worker processes over a shared-memory CSR, producing the
+  identical labels and the identical simulated-clock accounting while
+  the wall clock actually drops with cores.
 """
 
 from repro.pregel.aggregator import (
@@ -22,19 +31,29 @@ from repro.pregel.cost_model import (
     shared_memory_model,
 )
 from repro.pregel.engine import (
+    ENGINE_NAMES,
     Cluster,
     ComputeContext,
+    Engine,
     FinalizeContext,
+    SimulatorEngine,
     SuperstepLimitExceeded,
+    resolve_engine,
 )
 from repro.pregel.metrics import RunStats, SuperstepTrace
+from repro.pregel.mp import MultiprocessEngine
 from repro.pregel.serial import SerialMeter
 from repro.pregel.vertex_program import VertexProgram
 
 __all__ = [
+    "ENGINE_NAMES",
     "SCALED_CUTOFF_SECONDS",
     "Aggregator",
     "Cluster",
+    "Engine",
+    "MultiprocessEngine",
+    "SimulatorEngine",
+    "resolve_engine",
     "any_aggregator",
     "max_aggregator",
     "min_aggregator",

@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import copy
 import time
+from abc import ABC, abstractmethod
 from array import array
 
 from repro.errors import ReproError
 from repro.faults import FaultInjector, FaultPlan
 from repro.graph.digraph import DiGraph
-from repro.graph.partition import HashPartitioner, Partitioner
+from repro.graph.partition import HashPartitioner, Partitioner, node_assignment
 from repro.pregel.cost_model import CostModel
 from repro.pregel.metrics import (
     NodeSlice,
@@ -56,6 +57,7 @@ class ComputeContext:
         "superstep",
         "_node_of",
         "_current_node",
+        "_current_vertex",
         "_next_inbox",
         "_units",
         "_recv_bytes",
@@ -84,6 +86,7 @@ class ComputeContext:
         self.superstep = 0
         self._node_of = node_of
         self._current_node = 0
+        self._current_vertex = 0
         self._next_inbox: dict[int, list] = {}
         self._units = [0] * num_nodes
         self._recv_bytes = [0] * num_nodes
@@ -115,6 +118,7 @@ class ComputeContext:
             }
 
     def _at_vertex(self, vertex: int) -> None:
+        self._current_vertex = vertex
         self._current_node = self._node_of[vertex]
 
     # -- called by programs --------------------------------------------
@@ -270,58 +274,210 @@ def _estimate_entries(obj) -> int:
     return 1
 
 
-class Cluster:
-    """A simulated cluster of ``num_nodes`` computation nodes.
+def _account_superstep(
+    cost: CostModel,
+    num_nodes: int,
+    ctx: ComputeContext,
+    stats: RunStats,
+    active: int,
+    trace: bool = False,
+    tracer=None,
+    slowdown: list[float] | None = None,
+    replay: bool = False,
+    injector: FaultInjector | None = None,
+    node_slices: bool = True,
+) -> None:
+    """Account one super-step's barrier (shared by both engines).
 
-    Parameters
-    ----------
-    num_nodes:
-        Number of computation nodes (the paper uses up to 32).
-    cost_model:
-        Converts work counts to simulated seconds; defaults to the MPI
-        cluster model.
-    partitioner:
-        Vertex-to-node assignment; defaults to the paper's hash-by-id
-        scheme.
-    faults:
-        Optional :class:`~repro.faults.FaultPlan` injected into every
-        run of this cluster.  Crash events fire once per cluster
-        lifetime and dead nodes stay dead across chained runs (DRL_b's
-        batches), exactly as on real hardware.
-    checkpoint_interval:
-        Snapshot vertex state, pending messages, and aggregators every
-        this many super-steps, charging the serialization bytes through
-        the cost model.  Required for crash recovery to resume anywhere
-        other than super-step 0.
+    Both engines feed the same per-node work counters through this
+    function, which is what makes their ``RunStats`` — and therefore the
+    simulated clock — identical by construction.  ``replay=True`` marks
+    a discarded attempt or a post-recovery replay of an already-committed
+    super-step: its full cost lands in ``recovery_seconds`` and no work
+    counter or trace row is touched (the committed pass already recorded
+    them).  ``node_slices=False`` suppresses the per-logical-node
+    :class:`NodeSlice` emission — the multiprocessing engine records
+    measured per-worker slices instead.
+    """
+    units = ctx._units
+    if slowdown is None:
+        comp_seconds = max(units) * cost.t_op
+    else:
+        comp_seconds = (
+            max(u * s for u, s in zip(units, slowdown)) * cost.t_op
+        )
+    comm_bytes = max(ctx._recv_bytes) + ctx._broadcast_bytes
+    lost = duplicated = 0
+    if injector is not None:
+        lost, duplicated = injector.transit_faults(ctx._remote_messages)
+        # Reliable transport repairs both: retransmissions put the
+        # same bytes on the wire again; delivery is unaffected.
+        comm_bytes += (lost + duplicated) * cost.message_bytes
+    comm_seconds = comm_bytes * cost.t_byte
+    telemetry_on = tracer is not None and tracer.enabled
+    if telemetry_on and (lost or duplicated):
+        tracer.event(
+            "pregel.fault",
+            kind="transit",
+            superstep=ctx.superstep,
+            lost=lost,
+            duplicated=duplicated,
+        )
+    stats.messages_lost += lost
+    stats.messages_duplicated += duplicated
+    timeline = stats.node_timeline
+    if replay:
+        seconds = comp_seconds + comm_seconds + cost.t_barrier
+        stats.recovery_seconds += seconds
+        if timeline is not None:
+            timeline.intervals.append(
+                TimelineInterval("replay", ctx.superstep, seconds)
+            )
+        ctx._local_messages = 0
+        ctx._remote_messages = 0
+        return
+    if node_slices and (timeline is not None or telemetry_on):
+        # Per-node breakdown.  BSP phases run in sequence, so a
+        # node's barrier wait is the slack against the slowest node
+        # in each phase; retransmission cost (charged to the
+        # super-step as a whole) lands in the wait term too.
+        recv = ctx._recv_bytes
+        bcast_bytes = ctx._broadcast_bytes
+        for node in range(num_nodes):
+            factor = 1.0 if slowdown is None else slowdown[node]
+            node_comp = units[node] * factor * cost.t_op
+            node_comm = (recv[node] + bcast_bytes) * cost.t_byte
+            piece = NodeSlice(
+                superstep=ctx.superstep,
+                node=node,
+                units=units[node],
+                compute_seconds=node_comp,
+                comm_seconds=node_comm,
+                barrier_wait_seconds=max(
+                    0.0,
+                    (comp_seconds - node_comp) + (comm_seconds - node_comm),
+                ),
+                barrier_seconds=cost.t_barrier,
+                recv_bytes=recv[node],
+                slowdown=factor,
+            )
+            if timeline is not None:
+                timeline.slices.append(piece)
+            if telemetry_on:
+                tracer.event("pregel.node", **piece.to_dict())
+    if trace or telemetry_on:
+        row = SuperstepTrace(
+            superstep=ctx.superstep,
+            active_vertices=active,
+            compute_units=sum(units),
+            max_node_units=max(units),
+            remote_messages=ctx._remote_messages,
+            remote_bytes=sum(ctx._recv_bytes),
+            broadcast_bytes=ctx._broadcast_bytes,
+        )
+        if trace:
+            stats.trace.append(row)
+        if telemetry_on:
+            tracer.event("pregel.superstep", **row.to_dict())
+            metrics = current_metrics()
+            metrics.counter("pregel.supersteps").inc()
+            metrics.counter("pregel.remote_messages").inc(
+                ctx._remote_messages
+            )
+            metrics.histogram(
+                "pregel.active_vertices", ACTIVE_VERTEX_BUCKETS
+            ).observe(active)
+    stats.supersteps += 1
+    stats.compute_units += sum(units)
+    stats.local_messages += ctx._local_messages
+    stats.remote_messages += ctx._remote_messages
+    stats.remote_bytes += sum(ctx._recv_bytes)
+    stats.broadcast_bytes += ctx._broadcast_bytes
+    stats.computation_seconds += comp_seconds
+    stats.communication_seconds += comm_seconds
+    stats.barrier_seconds += cost.t_barrier
+    for node, node_units in enumerate(units):
+        stats.per_node_units[node] += node_units
+    ctx._local_messages = 0
+    ctx._remote_messages = 0
+
+
+def _account_finalize(
+    cost: CostModel,
+    num_nodes: int,
+    stats: RunStats,
+    finalize_units: list[int],
+    superstep: int,
+    slowdown: list[float] | None = None,
+    tracer=None,
+    node_slices: bool = True,
+) -> None:
+    """Account the post-loop finalize pass as one extra super-step."""
+    if not any(finalize_units):
+        return
+    stats.supersteps += 1
+    stats.compute_units += sum(finalize_units)
+    if slowdown is None:
+        finalize_seconds = max(finalize_units) * cost.t_op
+    else:
+        finalize_seconds = (
+            max(u * s for u, s in zip(finalize_units, slowdown))
+            * cost.t_op
+        )
+    stats.computation_seconds += finalize_seconds
+    stats.barrier_seconds += cost.t_barrier
+    for node, units in enumerate(finalize_units):
+        stats.per_node_units[node] += units
+    timeline = stats.node_timeline
+    telemetry_on = tracer is not None and tracer.enabled
+    if node_slices and (timeline is not None or telemetry_on):
+        for node in range(num_nodes):
+            factor = 1.0 if slowdown is None else slowdown[node]
+            node_comp = finalize_units[node] * factor * cost.t_op
+            piece = NodeSlice(
+                superstep=superstep + 1,
+                node=node,
+                units=finalize_units[node],
+                compute_seconds=node_comp,
+                comm_seconds=0.0,
+                barrier_wait_seconds=max(
+                    0.0, finalize_seconds - node_comp
+                ),
+                barrier_seconds=cost.t_barrier,
+                recv_bytes=0,
+                slowdown=factor,
+            )
+            if timeline is not None:
+                timeline.slices.append(piece)
+            if telemetry_on:
+                tracer.event("pregel.node", **piece.to_dict())
+
+
+class Engine(ABC):
+    """An execution strategy for the BSP contract behind :class:`Cluster`.
+
+    The engine owns the mechanics — compute scheduling, message routing,
+    the super-step barrier, and checkpoint hooks — while the cluster
+    owns the configuration (node count, partitioner, cost model, fault
+    plan).  Two implementations ship:
+
+    - :class:`SimulatorEngine` — the deterministic single-process
+      simulator with the charged cost model and fault injection; and
+    - :class:`repro.pregel.mp.MultiprocessEngine` — real parallelism
+      across worker processes over a shared-memory CSR, producing the
+      identical labels and the identical simulated-clock accounting
+      while the wall clock actually drops with cores.
     """
 
-    def __init__(
-        self,
-        num_nodes: int = 32,
-        cost_model: CostModel | None = None,
-        partitioner: Partitioner | None = None,
-        faults: FaultPlan | None = None,
-        checkpoint_interval: int | None = None,
-    ):
-        if num_nodes < 1:
-            raise ValueError("num_nodes must be at least 1")
-        if partitioner is not None and partitioner.num_nodes != num_nodes:
-            raise ValueError("partitioner and cluster disagree on num_nodes")
-        if checkpoint_interval is not None and checkpoint_interval < 1:
-            raise ValueError("checkpoint_interval must be at least 1")
-        self.num_nodes = num_nodes
-        self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.partitioner = (
-            partitioner if partitioner is not None else HashPartitioner(num_nodes)
-        )
-        self.faults = faults
-        self.checkpoint_interval = checkpoint_interval
-        self._injector = (
-            FaultInjector(faults, num_nodes) if faults is not None else None
-        )
+    #: Short name used by ``--engine`` and telemetry.
+    name: str = "?"
+    #: Whether the engine honours fault plans and checkpoint intervals.
+    supports_faults: bool = False
 
+    @abstractmethod
     def run(
         self,
+        cluster: "Cluster",
         graph: DiGraph,
         program: VertexProgram,
         max_supersteps: int = 100_000,
@@ -329,65 +485,60 @@ class Cluster:
         trace: bool = False,
         node_timeline: bool = False,
     ) -> RunStats:
-        """Execute ``program`` on ``graph`` until no messages remain.
+        """Execute ``program`` on ``graph`` under ``cluster``'s config."""
 
-        When ``stats`` is given, accounting accumulates into it (used to
-        chain the batches of DRL_b into one run) and the time-limit check
-        covers the accumulated total.  ``trace=True`` records one
-        :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
 
-        ``node_timeline=True`` additionally records one
-        :class:`~repro.pregel.metrics.NodeSlice` per node per committed
-        super-step (plus recovery/replay/checkpoint intervals) into
-        ``stats.node_timeline`` — the input of
-        :func:`repro.profiling.analyze_skew`.  Off by default: the flag
-        costs nothing when disabled and no telemetry session is active.
+class SimulatorEngine(Engine):
+    """The deterministic single-process simulator (the default engine).
 
-        With a fault plan, crashed super-steps are discarded and
-        replayed from the last checkpoint; discarded attempts and
-        replays charge ``stats.recovery_seconds`` only, so the work
-        counters and trace rows describe committed progress exactly
-        once — identical to a fault-free run of the same program.
+    Runs every vertex in one process, charging all work through the
+    cluster's :class:`CostModel`; supports fault injection, super-step
+    checkpointing, and crash recovery.  Wall-clock time is irrelevant
+    here — the simulated clock is the result.
+    """
 
-        When a telemetry session is active (see :mod:`repro.telemetry`),
-        the whole run is wrapped in a ``pregel.run`` span and every
-        super-step emits a ``pregel.superstep`` event carrying the
-        :class:`SuperstepTrace` fields plus one ``pregel.node`` event
-        per node carrying the :class:`NodeSlice` fields, independent of
-        ``trace``/``node_timeline``.  Faults additionally emit
-        ``pregel.fault``, ``pregel.recovery``, and ``pregel.checkpoint``
-        events.
-        """
+    name = "sim"
+    supports_faults = True
+
+    def run(
+        self,
+        cluster: "Cluster",
+        graph: DiGraph,
+        program: VertexProgram,
+        max_supersteps: int = 100_000,
+        stats: RunStats | None = None,
+        trace: bool = False,
+        node_timeline: bool = False,
+    ) -> RunStats:
         tracer = current_tracer()
         with tracer.span(
             "pregel.run",
             program=type(program).__name__,
-            num_nodes=self.num_nodes,
+            num_nodes=cluster.num_nodes,
             vertices=graph.num_vertices,
             edges=graph.num_edges,
+            engine=self.name,
         ) as span:
-            cost = self.cost_model
-            injector = self._injector
-            node_of = array(
-                "q", (self.partitioner.node_of(v) for v in graph.vertices())
-            )
+            cost = cluster.cost_model
+            injector = cluster._injector
+            node_of = node_assignment(cluster.partitioner, graph.num_vertices)
             if injector is not None and injector.dead:
                 # Nodes lost in an earlier run of this cluster stay dead.
                 injector.reassign(node_of, ())
             slowdown = (
-                self.faults.slowdowns(self.num_nodes)
-                if self.faults is not None and self.faults.stragglers
+                cluster.faults.slowdowns(cluster.num_nodes)
+                if cluster.faults is not None and cluster.faults.stragglers
                 else None
             )
             if stats is None:
-                stats = RunStats(num_nodes=self.num_nodes)
-                stats.per_node_units = [0] * self.num_nodes
+                stats = RunStats(num_nodes=cluster.num_nodes)
+                stats.per_node_units = [0] * cluster.num_nodes
             if node_timeline and stats.node_timeline is None:
-                stats.node_timeline = NodeTimeline(num_nodes=self.num_nodes)
+                stats.node_timeline = NodeTimeline(num_nodes=cluster.num_nodes)
             wall_start = time.perf_counter()
             simulated_start = stats.simulated_seconds
 
-            ctx = ComputeContext(graph, self.num_nodes, node_of, cost)
+            ctx = ComputeContext(graph, cluster.num_nodes, node_of, cost)
             ctx._combine = program.combine_duplicates
             ctx._aggregators = program.aggregators()
             ctx._agg_current = {
@@ -399,7 +550,7 @@ class Cluster:
             # checkpoint restarts from re-initialized state, so this
             # snapshot is free (bytes=0) — nothing crossed the network.
             checkpoint: _Checkpoint | None = None
-            interval = self.checkpoint_interval
+            interval = cluster.checkpoint_interval
             if interval is not None or (
                 injector is not None and injector.has_pending
             ):
@@ -437,20 +588,22 @@ class Cluster:
                 )
                 if fired and checkpoint is not None:
                     # The barrier never commits: the attempt is lost work.
-                    self._close_superstep(
-                        ctx, stats, active, False, tracer,
+                    _account_superstep(
+                        cost, cluster.num_nodes, ctx, stats, active,
+                        False, tracer,
                         slowdown=slowdown, replay=True, injector=injector,
                     )
                     inbox = self._recover(
-                        ctx, stats, checkpoint, injector, node_of,
+                        cluster, ctx, stats, checkpoint, injector, node_of,
                         fired, superstep, program, tracer,
                     )
                     superstep = checkpoint.superstep
                     cost.check_time(stats.simulated_seconds)
                     continue
                 replay = superstep <= committed
-                self._close_superstep(
-                    ctx, stats, active, trace, tracer,
+                _account_superstep(
+                    cost, cluster.num_nodes, ctx, stats, active,
+                    trace, tracer,
                     slowdown=slowdown, replay=replay, injector=injector,
                 )
                 committed = max(committed, superstep)
@@ -462,7 +615,8 @@ class Cluster:
                     and superstep > checkpoint.superstep
                 ):
                     checkpoint = self._take_checkpoint(
-                        superstep, program, ctx, stats, injector, tracer
+                        cluster, superstep, program, ctx, stats, injector,
+                        tracer,
                     )
                 cost.check_time(stats.simulated_seconds)
                 inbox = ctx._next_inbox
@@ -470,46 +624,14 @@ class Cluster:
                     break
 
             fctx = FinalizeContext(
-                graph, self.num_nodes, node_of, cost, stats.simulated_seconds
+                graph, cluster.num_nodes, node_of, cost,
+                stats.simulated_seconds,
             )
             program.finalize(fctx)
-            finalize_units = fctx._units
-            if any(finalize_units):
-                stats.supersteps += 1
-                stats.compute_units += sum(finalize_units)
-                if slowdown is None:
-                    finalize_seconds = max(finalize_units) * cost.t_op
-                else:
-                    finalize_seconds = (
-                        max(u * s for u, s in zip(finalize_units, slowdown))
-                        * cost.t_op
-                    )
-                stats.computation_seconds += finalize_seconds
-                stats.barrier_seconds += cost.t_barrier
-                for node, units in enumerate(finalize_units):
-                    stats.per_node_units[node] += units
-                timeline = stats.node_timeline
-                if timeline is not None or tracer.enabled:
-                    for node in range(self.num_nodes):
-                        factor = 1.0 if slowdown is None else slowdown[node]
-                        node_comp = finalize_units[node] * factor * cost.t_op
-                        piece = NodeSlice(
-                            superstep=superstep + 1,
-                            node=node,
-                            units=finalize_units[node],
-                            compute_seconds=node_comp,
-                            comm_seconds=0.0,
-                            barrier_wait_seconds=max(
-                                0.0, finalize_seconds - node_comp
-                            ),
-                            barrier_seconds=cost.t_barrier,
-                            recv_bytes=0,
-                            slowdown=factor,
-                        )
-                        if timeline is not None:
-                            timeline.slices.append(piece)
-                        if tracer.enabled:
-                            tracer.event("pregel.node", **piece.to_dict())
+            _account_finalize(
+                cost, cluster.num_nodes, stats, fctx._units, superstep,
+                slowdown=slowdown, tracer=tracer,
+            )
             cost.check_time(stats.simulated_seconds)
             stats.wall_seconds += time.perf_counter() - wall_start
             if tracer.enabled:
@@ -517,129 +639,9 @@ class Cluster:
                 span.add_simulated(stats.simulated_seconds - simulated_start)
         return stats
 
-    def _close_superstep(
-        self,
-        ctx: ComputeContext,
-        stats: RunStats,
-        active: int,
-        trace: bool = False,
-        tracer=None,
-        slowdown: list[float] | None = None,
-        replay: bool = False,
-        injector: FaultInjector | None = None,
-    ) -> None:
-        """Account one super-step's barrier.
-
-        ``replay=True`` marks a discarded attempt or a post-recovery
-        replay of an already-committed super-step: its full cost lands
-        in ``recovery_seconds`` and no work counter or trace row is
-        touched (the committed pass already recorded them).
-        """
-        cost = self.cost_model
-        units = ctx._units
-        if slowdown is None:
-            comp_seconds = max(units) * cost.t_op
-        else:
-            comp_seconds = (
-                max(u * s for u, s in zip(units, slowdown)) * cost.t_op
-            )
-        comm_bytes = max(ctx._recv_bytes) + ctx._broadcast_bytes
-        lost = duplicated = 0
-        if injector is not None:
-            lost, duplicated = injector.transit_faults(ctx._remote_messages)
-            # Reliable transport repairs both: retransmissions put the
-            # same bytes on the wire again; delivery is unaffected.
-            comm_bytes += (lost + duplicated) * cost.message_bytes
-        comm_seconds = comm_bytes * cost.t_byte
-        telemetry_on = tracer is not None and tracer.enabled
-        if telemetry_on and (lost or duplicated):
-            tracer.event(
-                "pregel.fault",
-                kind="transit",
-                superstep=ctx.superstep,
-                lost=lost,
-                duplicated=duplicated,
-            )
-        stats.messages_lost += lost
-        stats.messages_duplicated += duplicated
-        timeline = stats.node_timeline
-        if replay:
-            seconds = comp_seconds + comm_seconds + cost.t_barrier
-            stats.recovery_seconds += seconds
-            if timeline is not None:
-                timeline.intervals.append(
-                    TimelineInterval("replay", ctx.superstep, seconds)
-                )
-            ctx._local_messages = 0
-            ctx._remote_messages = 0
-            return
-        if timeline is not None or telemetry_on:
-            # Per-node breakdown.  BSP phases run in sequence, so a
-            # node's barrier wait is the slack against the slowest node
-            # in each phase; retransmission cost (charged to the
-            # super-step as a whole) lands in the wait term too.
-            recv = ctx._recv_bytes
-            bcast_bytes = ctx._broadcast_bytes
-            for node in range(self.num_nodes):
-                factor = 1.0 if slowdown is None else slowdown[node]
-                node_comp = units[node] * factor * cost.t_op
-                node_comm = (recv[node] + bcast_bytes) * cost.t_byte
-                piece = NodeSlice(
-                    superstep=ctx.superstep,
-                    node=node,
-                    units=units[node],
-                    compute_seconds=node_comp,
-                    comm_seconds=node_comm,
-                    barrier_wait_seconds=max(
-                        0.0,
-                        (comp_seconds - node_comp) + (comm_seconds - node_comm),
-                    ),
-                    barrier_seconds=cost.t_barrier,
-                    recv_bytes=recv[node],
-                    slowdown=factor,
-                )
-                if timeline is not None:
-                    timeline.slices.append(piece)
-                if telemetry_on:
-                    tracer.event("pregel.node", **piece.to_dict())
-        if trace or telemetry_on:
-            row = SuperstepTrace(
-                superstep=ctx.superstep,
-                active_vertices=active,
-                compute_units=sum(units),
-                max_node_units=max(units),
-                remote_messages=ctx._remote_messages,
-                remote_bytes=sum(ctx._recv_bytes),
-                broadcast_bytes=ctx._broadcast_bytes,
-            )
-            if trace:
-                stats.trace.append(row)
-            if telemetry_on:
-                tracer.event("pregel.superstep", **row.to_dict())
-                metrics = current_metrics()
-                metrics.counter("pregel.supersteps").inc()
-                metrics.counter("pregel.remote_messages").inc(
-                    ctx._remote_messages
-                )
-                metrics.histogram(
-                    "pregel.active_vertices", ACTIVE_VERTEX_BUCKETS
-                ).observe(active)
-        stats.supersteps += 1
-        stats.compute_units += sum(units)
-        stats.local_messages += ctx._local_messages
-        stats.remote_messages += ctx._remote_messages
-        stats.remote_bytes += sum(ctx._recv_bytes)
-        stats.broadcast_bytes += ctx._broadcast_bytes
-        stats.computation_seconds += comp_seconds
-        stats.communication_seconds += comm_seconds
-        stats.barrier_seconds += cost.t_barrier
-        for node, node_units in enumerate(units):
-            stats.per_node_units[node] += node_units
-        ctx._local_messages = 0
-        ctx._remote_messages = 0
-
     def _take_checkpoint(
         self,
+        cluster: "Cluster",
         superstep: int,
         program: VertexProgram,
         ctx: ComputeContext,
@@ -648,7 +650,7 @@ class Cluster:
         tracer,
     ) -> _Checkpoint:
         """Snapshot barrier state and charge the serialization bytes."""
-        cost = self.cost_model
+        cost = cluster.cost_model
         state = program.snapshot()
         pending = ctx._next_inbox
         messages = sum(len(bucket) for bucket in pending.values())
@@ -656,7 +658,9 @@ class Cluster:
             _estimate_entries(state) * cost.entry_bytes
             + messages * cost.message_bytes
         )
-        alive = len(injector.survivors) if injector is not None else self.num_nodes
+        alive = (
+            len(injector.survivors) if injector is not None else cluster.num_nodes
+        )
         seconds = (nbytes / alive) * cost.t_checkpoint_byte
         stats.checkpoints += 1
         stats.checkpoint_seconds += seconds
@@ -683,6 +687,7 @@ class Cluster:
 
     def _recover(
         self,
+        cluster: "Cluster",
         ctx: ComputeContext,
         stats: RunStats,
         checkpoint: _Checkpoint,
@@ -701,7 +706,7 @@ class Cluster:
         rolls program, aggregator, and inbox state back to the
         checkpointed barrier.
         """
-        cost = self.cost_model
+        cost = cluster.cost_model
         stats.crashes += len(fired)
         moved = injector.reassign(node_of, fired)
         alive = len(injector.survivors)
@@ -737,3 +742,146 @@ class Cluster:
             metrics.counter("pregel.crashes").inc(len(fired))
             metrics.counter("pregel.recoveries").inc()
         return copy.deepcopy(checkpoint.inbox)
+
+
+#: Engine names accepted by :func:`resolve_engine` and ``--engine``.
+ENGINE_NAMES = ("sim", "mp")
+
+
+def resolve_engine(engine: "str | Engine", workers: int | None = None) -> Engine:
+    """Resolve an engine selector (name or instance) to an :class:`Engine`.
+
+    ``workers`` only applies to the multiprocessing engine (the
+    simulator has no worker processes) and is ignored when ``engine``
+    is already an instance.
+    """
+    if isinstance(engine, Engine):
+        return engine
+    if engine == "sim":
+        return SimulatorEngine()
+    if engine == "mp":
+        from repro.pregel.mp import MultiprocessEngine
+
+        return MultiprocessEngine(workers=workers)
+    raise ValueError(
+        f"unknown engine {engine!r}; choose one of {', '.join(ENGINE_NAMES)}"
+    )
+
+
+class Cluster:
+    """A cluster of ``num_nodes`` computation nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of computation nodes (the paper uses up to 32).
+    cost_model:
+        Converts work counts to simulated seconds; defaults to the MPI
+        cluster model.
+    partitioner:
+        Vertex-to-node assignment; defaults to the paper's hash-by-id
+        scheme.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected into every
+        run of this cluster.  Crash events fire once per cluster
+        lifetime and dead nodes stay dead across chained runs (DRL_b's
+        batches), exactly as on real hardware.  Simulator engine only.
+    checkpoint_interval:
+        Snapshot vertex state, pending messages, and aggregators every
+        this many super-steps, charging the serialization bytes through
+        the cost model.  Required for crash recovery to resume anywhere
+        other than super-step 0.  Simulator engine only.
+    engine:
+        Execution engine: ``"sim"`` (default) for the deterministic
+        single-process simulator, ``"mp"`` for real parallelism across
+        worker processes (:class:`repro.pregel.mp.MultiprocessEngine`),
+        or any :class:`Engine` instance.
+    workers:
+        Worker-process count for ``engine="mp"`` (defaults to the
+        machine's core count); ignored by the simulator.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 32,
+        cost_model: CostModel | None = None,
+        partitioner: Partitioner | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint_interval: int | None = None,
+        engine: "str | Engine" = "sim",
+        workers: int | None = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if partitioner is not None and partitioner.num_nodes != num_nodes:
+            raise ValueError("partitioner and cluster disagree on num_nodes")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        self.engine = resolve_engine(engine, workers)
+        if not self.engine.supports_faults and (
+            faults is not None or checkpoint_interval is not None
+        ):
+            raise ReproError(
+                f"the {self.engine.name!r} engine does not support fault "
+                "injection or checkpointing; use engine='sim'"
+            )
+        self.num_nodes = num_nodes
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.partitioner = (
+            partitioner if partitioner is not None else HashPartitioner(num_nodes)
+        )
+        self.faults = faults
+        self.checkpoint_interval = checkpoint_interval
+        self._injector = (
+            FaultInjector(faults, num_nodes) if faults is not None else None
+        )
+
+    def run(
+        self,
+        graph: DiGraph,
+        program: VertexProgram,
+        max_supersteps: int = 100_000,
+        stats: RunStats | None = None,
+        trace: bool = False,
+        node_timeline: bool = False,
+    ) -> RunStats:
+        """Execute ``program`` on ``graph`` until no messages remain.
+
+        When ``stats`` is given, accounting accumulates into it (used to
+        chain the batches of DRL_b into one run) and the time-limit check
+        covers the accumulated total.  ``trace=True`` records one
+        :class:`~repro.pregel.metrics.SuperstepTrace` row per super-step.
+
+        ``node_timeline=True`` additionally records one
+        :class:`~repro.pregel.metrics.NodeSlice` per node per committed
+        super-step (plus recovery/replay/checkpoint intervals) into
+        ``stats.node_timeline`` — the input of
+        :func:`repro.profiling.analyze_skew`.  Off by default: the flag
+        costs nothing when disabled and no telemetry session is active.
+        Under the multiprocessing engine the slices carry *measured*
+        per-worker wall-clock seconds instead of simulated per-node ones.
+
+        With a fault plan, crashed super-steps are discarded and
+        replayed from the last checkpoint; discarded attempts and
+        replays charge ``stats.recovery_seconds`` only, so the work
+        counters and trace rows describe committed progress exactly
+        once — identical to a fault-free run of the same program.
+
+        When a telemetry session is active (see :mod:`repro.telemetry`),
+        the whole run is wrapped in a ``pregel.run`` span and every
+        super-step emits a ``pregel.superstep`` event carrying the
+        :class:`SuperstepTrace` fields plus one ``pregel.node`` event
+        per node carrying the :class:`NodeSlice` fields, independent of
+        ``trace``/``node_timeline``.  Faults additionally emit
+        ``pregel.fault``, ``pregel.recovery``, and ``pregel.checkpoint``
+        events.
+        """
+        return self.engine.run(
+            self,
+            graph,
+            program,
+            max_supersteps=max_supersteps,
+            stats=stats,
+            trace=trace,
+            node_timeline=node_timeline,
+        )

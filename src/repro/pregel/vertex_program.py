@@ -58,6 +58,15 @@ class VertexProgram(ABC):
     #: Only sound for programs whose message handling is idempotent.
     combine_duplicates: bool = False
 
+    #: Opt-in for the multiprocessing engine (:mod:`repro.pregel.mp`).
+    #: A program that sets this True promises that ``compute()`` for a
+    #: vertex only writes state owned by that vertex's node (so state
+    #: partitions cleanly across worker replicas), and implements
+    #: :meth:`mp_collect` / :meth:`mp_merge` — plus
+    #: :meth:`mp_publish_delta` / :meth:`mp_apply_published` if it keeps
+    #: published (barrier-visible) shared structures.
+    mp_supported: bool = False
+
     def aggregators(self) -> dict:
         """Aggregators this program uses: ``{name: Aggregator}``.
 
@@ -104,6 +113,59 @@ class VertexProgram(ABC):
     def finalize(self, ctx: "FinalizeContext") -> None:
         """Called once after the message loop (e.g. Alg. 3 lines 19-20).
 
-        Work done here must be charged through ``ctx.charge(vertex,
-        units)`` so the post-pass appears in the cost accounting.
+        The default delegates to :meth:`finalize_vertices` over every
+        vertex; programs whose post-pass is per-vertex should override
+        that instead so the multiprocessing engine can split the pass
+        across workers.  Work must be charged through
+        ``ctx.charge(vertex, units)`` so the post-pass appears in the
+        cost accounting.
         """
+        self.finalize_vertices(ctx, ctx.graph.vertices())
+
+    def finalize_vertices(self, ctx: "FinalizeContext", vertices) -> None:
+        """The per-vertex share of :meth:`finalize` (default: no work).
+
+        ``vertices`` is an ascending iterable: all vertices under the
+        simulator, one worker's owned vertices under the
+        multiprocessing engine.  Must only touch state owned by those
+        vertices (plus read-only shared structures)."""
+
+    # -- multiprocessing-engine hooks ----------------------------------
+    def mp_publish_delta(self):
+        """This super-step's not-yet-published shared-state entries.
+
+        Called on each worker after ``compute()``, before the barrier.
+        Return ``None`` when the program keeps no published structures
+        or nothing changed; otherwise any picklable value that
+        :meth:`mp_apply_published` understands."""
+        return None
+
+    def mp_apply_published(self, delta) -> None:
+        """Apply another replica's :meth:`mp_publish_delta` value.
+
+        Called on every replica (master included) for *all* workers'
+        deltas, in fixed worker order, immediately before
+        ``on_barrier()`` — so it must be idempotent for entries the
+        replica already holds (the producing worker receives its own
+        delta back)."""
+
+    def mp_collect(self, vertices):
+        """Package the final state owned by ``vertices`` for the master.
+
+        Called once per worker after :meth:`finalize_vertices`; the
+        return value is pickled to the master and fed to
+        :meth:`mp_merge`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets mp_supported but does not "
+            "implement mp_collect()"
+        )
+
+    def mp_merge(self, collected) -> None:
+        """Fold one worker's :meth:`mp_collect` value into this replica.
+
+        Called on the master in fixed worker order; afterwards the
+        master's program state must equal a simulator run's."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets mp_supported but does not "
+            "implement mp_merge()"
+        )

@@ -1,0 +1,215 @@
+"""Unit tests of the multiprocessing engine and the shared partition
+assignment helper.
+
+The engine-equivalence matrix lives in ``test_engine_equivalence.py``;
+this module covers the plumbing around it: the single
+:func:`~repro.graph.partition.node_assignment` helper every executor
+shares (pinned by a golden so a silent change to the hash mix cannot
+slip through), engine selection and its rejection paths, worker
+timelines, and the CLI flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.drl import drl_index
+from repro.core.multicore import (
+    _WORKING_BYTES_PER_VERTEX,
+    per_core_working_bytes,
+)
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.graph.generators import citation_graph
+from repro.graph.io import write_edge_list
+from repro.graph.partition import (
+    PARTITIONER_STRATEGIES,
+    HashPartitioner,
+    node_assignment,
+)
+from repro.pregel.engine import (
+    ENGINE_NAMES,
+    Cluster,
+    SimulatorEngine,
+    resolve_engine,
+)
+from repro.pregel.mp import MultiprocessEngine
+from repro.pregel.vertex_program import VertexProgram
+
+
+# ----------------------------------------------------------------------
+# The shared partition-assignment helper (one source of truth)
+# ----------------------------------------------------------------------
+def test_node_assignment_golden():
+    """Pin the hash assignment both engines and the multi-core memory
+    estimator share; a change here silently re-partitions every build."""
+    assert list(node_assignment(HashPartitioner(4), 12)) == [
+        0, 1, 2, 0, 1, 3, 0, 2, 3, 1, 2, 0,
+    ]
+
+
+@pytest.mark.parametrize("strategy", sorted(PARTITIONER_STRATEGIES))
+def test_node_assignment_matches_partition(strategy):
+    partitioner = PARTITIONER_STRATEGIES[strategy](3, 20)
+    assignment = node_assignment(partitioner, 20)
+    assert assignment.typecode == "q"
+    for node, members in enumerate(partitioner.partition(20)):
+        for v in members:
+            assert assignment[v] == node
+
+
+def test_multicore_estimate_counts_by_shared_assignment():
+    graph = citation_graph(50, avg_refs=2.0, seed=1)
+    partitioner = HashPartitioner(4)
+    per_core = per_core_working_bytes(graph, partitioner)
+    assignment = node_assignment(partitioner, graph.num_vertices)
+    for core, estimate in enumerate(per_core):
+        owned = sum(1 for node in assignment if node == core)
+        assert estimate == _WORKING_BYTES_PER_VERTEX * owned
+    assert sum(per_core) == _WORKING_BYTES_PER_VERTEX * graph.num_vertices
+
+
+class _OwnerProbeProgram(VertexProgram):
+    """Records which node each vertex computed on; no messages."""
+
+    mp_supported = True
+
+    def __init__(self, num_vertices: int):
+        self.owners = [-1] * num_vertices
+
+    def compute(self, ctx, w, messages) -> None:
+        self.owners[w] = ctx.node_of(w)
+
+    def mp_collect(self, vertices):
+        return [(w, self.owners[w]) for w in vertices]
+
+    def mp_merge(self, collected) -> None:
+        for w, owner in collected:
+            self.owners[w] = owner
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_both_engines_place_vertices_by_shared_helper(engine):
+    """Regression for the one-helper rule: the vertex placement either
+    engine actually computes with equals ``node_assignment``'s output."""
+    graph = citation_graph(30, avg_refs=2.0, seed=7)
+    cluster = Cluster(num_nodes=5, engine=engine, workers=2)
+    program = _OwnerProbeProgram(graph.num_vertices)
+    cluster.run(graph, program)
+    expected = node_assignment(cluster.partitioner, graph.num_vertices)
+    assert program.owners == list(expected)
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+def test_resolve_engine():
+    assert isinstance(resolve_engine("sim"), SimulatorEngine)
+    mp = resolve_engine("mp", workers=3)
+    assert isinstance(mp, MultiprocessEngine)
+    assert mp.workers == 3
+    instance = MultiprocessEngine(workers=2)
+    assert resolve_engine(instance) is instance
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("gpu")
+
+
+def test_cluster_exposes_engine_by_name():
+    assert Cluster(num_nodes=2).engine.name == "sim"
+    assert Cluster(num_nodes=2, engine="mp").engine.name == "mp"
+
+
+# ----------------------------------------------------------------------
+# Rejection paths
+# ----------------------------------------------------------------------
+def test_mp_rejects_fault_injection():
+    with pytest.raises(ReproError, match="does not support fault"):
+        Cluster(num_nodes=4, engine="mp", faults=FaultPlan.parse("crash=1@2"))
+
+
+def test_mp_rejects_checkpointing():
+    with pytest.raises(ReproError, match="does not support fault"):
+        Cluster(num_nodes=4, engine="mp", checkpoint_interval=2)
+
+
+def test_mp_rejects_programs_without_hooks():
+    class _Plain(VertexProgram):
+        def compute(self, ctx, w, messages) -> None:  # pragma: no cover
+            pass
+
+    graph = citation_graph(10, avg_refs=1.5, seed=0)
+    with pytest.raises(ReproError, match="mp_supported"):
+        Cluster(num_nodes=2, engine="mp").run(graph, _Plain())
+
+
+def test_vertex_program_mp_hooks_default_unimplemented():
+    class _Claims(VertexProgram):
+        mp_supported = True
+
+        def compute(self, ctx, w, messages) -> None:  # pragma: no cover
+            pass
+
+    with pytest.raises(NotImplementedError, match="mp_collect"):
+        _Claims().mp_collect([0])
+    with pytest.raises(NotImplementedError, match="mp_merge"):
+        _Claims().mp_merge([])
+
+
+# ----------------------------------------------------------------------
+# Worker behaviour
+# ----------------------------------------------------------------------
+def test_single_worker_matches_simulator():
+    graph = citation_graph(24, avg_refs=2.0, seed=4)
+    sim = drl_index(graph, num_nodes=3)
+    mp = drl_index(graph, num_nodes=3, engine="mp", workers=1)
+    assert mp.index == sim.index
+    assert mp.stats.simulated_seconds == sim.stats.simulated_seconds
+
+
+def test_mp_timeline_holds_measured_worker_slices():
+    """Under mp, the timeline is per *worker process* with measured
+    wall-clock, not the simulator's modelled per-node split."""
+    graph = citation_graph(24, avg_refs=2.0, seed=4)
+    result = drl_index(
+        graph, num_nodes=4, engine="mp", workers=2, node_timeline=True
+    )
+    timeline = result.stats.node_timeline
+    assert timeline is not None
+    assert timeline.num_nodes == 2
+    assert timeline.slices
+    assert {piece.node for piece in timeline.slices} <= {0, 1}
+    for piece in timeline.slices:
+        assert piece.compute_seconds >= 0.0
+        assert piece.barrier_wait_seconds >= 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+def test_cli_build_engines_agree_byte_for_byte(tmp_path, capsys):
+    edges = tmp_path / "g.edges"
+    write_edge_list(citation_graph(60, avg_refs=2.0, seed=2), edges)
+    sim_idx = tmp_path / "sim.idx"
+    mp_idx = tmp_path / "mp.idx"
+    argv = ["build", str(edges), "--method", "drl", "--nodes", "4"]
+    assert main(argv + ["-o", str(sim_idx), "--engine", "sim"]) == 0
+    assert main(
+        argv + ["-o", str(mp_idx), "--engine", "mp", "--workers", "2"]
+    ) == 0
+    capsys.readouterr()
+    assert sim_idx.read_bytes() == mp_idx.read_bytes()
+
+
+def test_cli_rejects_bad_engine_combinations(tmp_path, capsys):
+    edges = tmp_path / "g.edges"
+    write_edge_list(citation_graph(10, avg_refs=1.5, seed=0), edges)
+    out = tmp_path / "x.idx"
+    base = ["build", str(edges), "-o", str(out)]
+    assert main(base + ["--method", "tol", "--engine", "mp"]) == 2
+    assert main(base + ["--engine", "mp", "--faults", "crash=1@2"]) == 2
+    assert main(base + ["--engine", "mp", "--checkpoint-interval", "2"]) == 2
+    assert main(base + ["--engine", "mp", "--workers", "0"]) == 2
+    assert main(base + ["--workers", "2"]) == 2
+    err = capsys.readouterr().err
+    assert "only applies to --engine mp" in err

@@ -26,6 +26,7 @@ _README_PHRASES = {
     "condensed": "SCC-condensed\nequivalence",
     "fault-equivalence": "faulty-vs-clean build equality",
     "dynamic-vs-rebuild": "incremental-update-vs-rebuild equality",
+    "engine-mismatch": "multiprocessing-vs-simulator engine equality",
 }
 
 _COUNT_WORDS = {
