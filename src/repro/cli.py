@@ -282,12 +282,59 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
-        help="drop requests queued longer than this (simulated seconds)",
+        help="drop requests queued longer than this (simulated seconds); "
+        "mixed-mode writes are never deadline-dropped",
+    )
+    serve_bench.add_argument(
+        "--mode", choices=["read", "mixed"], default="read",
+        help="'read' replays queries only; 'mixed' interleaves Zipf "
+        "reads with a Poisson write stream (edge/node mutations and "
+        "order upgrades) through the same admission queue and reports "
+        "update throughput, write p99, and the replication staleness "
+        "window.  See docs/dynamic.md.",
+    )
+    serve_bench.add_argument(
+        "--writes", type=int, default=2000,
+        help="mixed mode: length of the write stream (default 2000)",
+    )
+    serve_bench.add_argument(
+        "--write-rate", type=float, default=200_000.0,
+        help="mixed mode: offered write load per simulated second",
+    )
+    serve_bench.add_argument(
+        "--insert-ratio", type=float, default=0.6,
+        help="mixed mode: fraction of edge ops that are inserts",
+    )
+    serve_bench.add_argument(
+        "--node-ratio", type=float, default=0.1,
+        help="mixed mode: fraction of writes that add/delete nodes",
+    )
+    serve_bench.add_argument(
+        "--promote-ratio", type=float, default=0.05,
+        help="mixed mode: fraction of writes that are order upgrades",
+    )
+    serve_bench.add_argument(
+        "--replicas", type=int, default=2,
+        help="mixed mode: replica groups fed by the leader's op log",
+    )
+    serve_bench.add_argument(
+        "--replication-delay", type=float, default=2e-3, metavar="SECONDS",
+        help="mixed mode: op-log delivery delay to followers",
+    )
+    serve_bench.add_argument(
+        "--max-lag", type=int, default=64,
+        help="mixed mode: bounded-staleness lag before forced catch-up",
+    )
+    serve_bench.add_argument(
+        "--drift-threshold", type=int, default=None, metavar="POSITIONS",
+        help="mixed mode: auto-promote a vertex whose degree rank "
+        "drifted this far above its frozen rank (default: off)",
     )
     serve_bench.add_argument(
         "--save-baseline", nargs="?", const="", default=None, metavar="PATH",
         help="save the table as the serve regression baseline "
-        "(default PATH: benchmarks/baselines/serve-bench.json)",
+        "(default PATH: benchmarks/baselines/serve-bench.json, or "
+        "serve-bench-mixed.json with --mode mixed)",
     )
     serve_bench.add_argument(
         "--check-baseline", nargs="?", const="", default=None, metavar="PATH",
@@ -830,7 +877,11 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
-    from repro.serve.bench import caching_speedup, run_serve_bench
+    from repro.serve.bench import (
+        caching_speedup,
+        run_mixed_serve_bench,
+        run_serve_bench,
+    )
 
     if args.cache_only and args.no_cache:
         print("error: --cache-only and --no-cache exclude each other",
@@ -845,24 +896,57 @@ def _cmd_serve_bench(args) -> int:
         graph = _GENERATORS[args.kind](args.vertices, seed=args.seed)
         print(f"generated {args.kind} graph: n={graph.num_vertices} "
               f"m={graph.num_edges}", file=sys.stderr)
-    table, reports = run_serve_bench(
-        graph,
-        shards=args.shards,
-        partitioner=args.partitioner,
-        requests=args.requests,
-        rate=args.rate,
-        arrival=args.arrival,
-        clients=args.clients,
-        zipf=args.zipf,
-        cache_size=args.cache_size,
-        negative_cache=not args.no_negative_cache,
-        queue_depth=args.queue_depth,
-        batch_size=args.batch_size,
-        deadline_seconds=args.deadline,
-        seed=args.seed,
-        with_cache=not args.no_cache,
-        without_cache=not args.cache_only,
-    )
+    if args.mode == "mixed":
+        baseline_name = "serve-bench-mixed"
+        try:
+            table, reports = run_mixed_serve_bench(
+                graph,
+                shards=args.shards,
+                partitioner=args.partitioner,
+                requests=args.requests,
+                rate=args.rate,
+                zipf=args.zipf,
+                cache_size=args.cache_size,
+                negative_cache=not args.no_negative_cache,
+                queue_depth=args.queue_depth,
+                batch_size=args.batch_size,
+                deadline_seconds=args.deadline,
+                seed=args.seed,
+                writes=args.writes,
+                write_rate=args.write_rate,
+                insert_ratio=args.insert_ratio,
+                node_ratio=args.node_ratio,
+                promote_ratio=args.promote_ratio,
+                replicas=args.replicas,
+                replication_delay=args.replication_delay,
+                max_lag=args.max_lag,
+                drift_threshold=args.drift_threshold,
+                with_cache=not args.no_cache,
+                without_cache=not args.cache_only,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        baseline_name = "serve-bench"
+        table, reports = run_serve_bench(
+            graph,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            requests=args.requests,
+            rate=args.rate,
+            arrival=args.arrival,
+            clients=args.clients,
+            zipf=args.zipf,
+            cache_size=args.cache_size,
+            negative_cache=not args.no_negative_cache,
+            queue_depth=args.queue_depth,
+            batch_size=args.batch_size,
+            deadline_seconds=args.deadline,
+            seed=args.seed,
+            with_cache=not args.no_cache,
+            without_cache=not args.cache_only,
+        )
     for row, report in reports.items():
         print(f"[{row}]")
         print(report.summary())
@@ -903,7 +987,7 @@ def _cmd_serve_bench(args) -> int:
             path = (
                 Path(args.check_baseline)
                 if args.check_baseline
-                else default_baseline_path("serve-bench")
+                else default_baseline_path(baseline_name)
             )
             threshold = (
                 args.baseline_threshold
@@ -920,9 +1004,9 @@ def _cmd_serve_bench(args) -> int:
             path = (
                 Path(args.save_baseline)
                 if args.save_baseline
-                else default_baseline_path("serve-bench")
+                else default_baseline_path(baseline_name)
             )
-            saved = save_baseline("serve-bench", [table], path)
+            saved = save_baseline(baseline_name, [table], path)
             print(f"baseline saved to {saved}", file=sys.stderr)
     return exit_code
 

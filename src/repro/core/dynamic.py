@@ -1,15 +1,18 @@
-"""Dynamic maintenance of the TOL index under edge updates.
+"""Dynamic maintenance of the TOL index under online updates.
 
 The paper defers "maintaining indexes on distributed dynamic graphs" to
 future work but inherits the setting from TOL (Zhu et al., SIGMOD'14),
 whose index is explicitly designed for dynamic graphs.  This module
 provides a *centralized* dynamic index with exact semantics:
 
-**The vertex order is fixed at construction** (TOL's total-order
-approach): updates never re-rank vertices, so "the TOL index" remains
-well-defined as the index TOL would build on the current graph under
-the original order.  :meth:`DynamicReachabilityIndex.snapshot` is
-guaranteed equal to ``tol_index(current_graph, original_order)``.
+**The vertex order is explicit at all times** (TOL's total-order
+approach): after every applied update,
+:meth:`DynamicReachabilityIndex.snapshot` is guaranteed equal to
+``tol_index(current_graph(), order)`` for the *current* order.  The
+order changes only through two operations — :meth:`add_node` appends
+the new vertex at the tail, and :meth:`promote` moves one vertex
+hub-ward (TOL's "butterfly" rewrite) — so "the TOL index" stays
+well-defined throughout.
 
 Update algorithms
 -----------------
@@ -31,6 +34,34 @@ vertex that could reach ``u`` (forward side) or be reached from ``v``
 using the basic labeling method on the new graph.  When the affected
 set exceeds ``rebuild_fraction`` of the graph, a full rebuild is
 cheaper and is used instead.
+
+*Node addition* appends a fresh vertex id at the **tail of the order**
+(lowest priority).  An isolated tail vertex provably costs nothing:
+its TOL round reaches only itself, and no other round can reach it, so
+its labels are exactly ``{v}``/``{v}`` and every other label set is
+untouched.
+
+*Node deletion* removes every incident edge at once (one recompute,
+not one per edge) and leaves the id behind as an isolated **tombstone**
+whose labels are ``{v}``/``{v}`` — ids are never recycled, so shard
+maps, caches, and replicas keyed by vertex id stay valid.  Mutating a
+tombstone raises; querying one is permitted (it is simply isolated).
+
+*Order upgrade* (:meth:`promote`) is the TOL butterfly rewrite: moving
+``v`` from rank ``r_old`` up to ``r_new < r_old`` can only (a) *grow*
+``v``'s own coverage (fewer dominators once ``v`` outranks the band it
+jumped), and (b) *invalidate* entries of the **band** hubs ``h`` it
+overtook where ``h → v → w`` now routes through the higher hub ``v``;
+every other entry is exactly as before.  So the rewrite is one pair of
+full pruned BFSs from ``v`` under the new order (the grow side) plus a
+band-restricted domination sweep (the shrink side) — no rebuild.
+
+When constructed with a ``drift_threshold``, the index watches how far
+each updated vertex's *degree rank* (its position under the paper's
+``(d_in+1)·(d_out+1)`` order on **current** degrees) has drifted above
+its frozen rank, and promotes it automatically once the drift exceeds
+the threshold — the online answer to "the construction-time order goes
+stale as the graph evolves and labels fatten".
 """
 
 from __future__ import annotations
@@ -42,23 +73,37 @@ from repro.core.labels import ReachabilityIndex
 from repro.graph.digraph import DiGraph
 from repro.graph.order import VertexOrder, degree_order
 
+#: Update operations a :class:`DynamicReachabilityIndex` can apply and
+#: notify listeners about, in ``(op, u, v)`` shape.  For ``add_node``
+#: and ``delete_node`` both payload slots carry the vertex id; for
+#: ``promote`` the payload is ``(vertex, new_rank)``.
+UPDATE_OPS = ("insert", "delete", "add_node", "delete_node", "promote")
+
 
 class DynamicReachabilityIndex:
-    """A TOL index that stays exact under edge insertions and deletions.
+    """A TOL index that stays exact under online graph updates.
 
     Parameters
     ----------
     graph:
         Initial graph; its edges seed the mutable adjacency.
     order:
-        Fixed total order (defaults to the *initial* graph's degree
-        order; it is never recomputed — TOL's total-order contract).
+        Initial total order (defaults to the *initial* graph's degree
+        order).  It changes only via :meth:`add_node` (tail append) and
+        :meth:`promote` (hub-ward move); :attr:`order` always exposes
+        the current one.
     rebuild_fraction:
         Deletion falls back to a full rebuild when the affected vertex
         set exceeds this fraction of all vertices.  Per-vertex
         recomputation costs several BFSs, so the break-even point is
         low (default 10%); hub-dominated graphs, where most vertices
         reach the deleted edge, effectively always rebuild on deletion.
+    drift_threshold:
+        When set, every applied edge update checks its endpoints'
+        degree-rank drift (:meth:`drift`) and promotes a vertex whose
+        frozen rank lags its current degree rank by more than this many
+        positions.  ``None`` (the default) disables automatic upgrades;
+        :meth:`promote` stays available either way.
     """
 
     def __init__(
@@ -66,6 +111,7 @@ class DynamicReachabilityIndex:
         graph: DiGraph,
         order: VertexOrder | None = None,
         rebuild_fraction: float = 0.1,
+        drift_threshold: int | None = None,
     ):
         if order is None:
             order = degree_order(graph)
@@ -73,11 +119,15 @@ class DynamicReachabilityIndex:
             raise ValueError("order does not cover the graph's vertices")
         if not 0.0 < rebuild_fraction <= 1.0:
             raise ValueError("rebuild_fraction must be in (0, 1]")
+        if drift_threshold is not None and drift_threshold < 1:
+            raise ValueError("drift_threshold must be >= 1 (or None)")
         n = graph.num_vertices
         self._n = n
         self._rank = order.ranks
         self._order = order
         self._rebuild_fraction = rebuild_fraction
+        self._drift_threshold = drift_threshold
+        self._alive = [True] * n
         self._out_adj: list[set[int]] = [set() for _ in range(n)]
         self._in_adj: list[set[int]] = [set() for _ in range(n)]
         for a, b in graph.edges():
@@ -94,16 +144,18 @@ class DynamicReachabilityIndex:
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
-        """Number of vertices (fixed at construction)."""
+        """Number of vertex ids, tombstones included (grows with
+        :meth:`add_node`, never shrinks)."""
         return self._n
 
     @property
     def order(self) -> VertexOrder:
-        """The fixed total order every update maintains the index under.
+        """The current total order the index is exact under.
 
         Exposed so external checkers (``repro.fuzz`` oracles, tests)
         can rebuild the reference ``tol_index(current_graph(), order)``
-        the snapshot contract promises equality with.
+        the snapshot contract promises equality with.  Reread it after
+        :meth:`add_node` / :meth:`promote` — both replace it.
         """
         return self._order
 
@@ -111,6 +163,14 @@ class DynamicReachabilityIndex:
     def num_edges(self) -> int:
         """Current number of edges."""
         return sum(len(adj) for adj in self._out_adj)
+
+    def is_alive(self, v: int) -> bool:
+        """True while ``v`` exists and was not deleted."""
+        return 0 <= v < self._n and self._alive[v]
+
+    def alive_vertices(self) -> list[int]:
+        """Vertex ids currently alive (ascending)."""
+        return [v for v in range(self._n) if self._alive[v]]
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if the edge ``(u, v)`` is currently present."""
@@ -123,7 +183,13 @@ class DynamicReachabilityIndex:
                 yield u, v
 
     def query(self, s: int, t: int) -> bool:
-        """``q(s, t)`` on the current graph."""
+        """``q(s, t)`` on the current graph.
+
+        Tombstoned vertices are permitted: they are isolated, so every
+        query involving one answers ``False`` (or ``True`` for
+        ``q(v, v)``), matching the transitive closure of
+        :meth:`current_graph`.
+        """
         a, b = self.out_labels[s], self.in_labels[t]
         if len(b) < len(a):
             a, b = b, a
@@ -134,7 +200,11 @@ class DynamicReachabilityIndex:
         return ReachabilityIndex.from_label_lists(self.in_labels, self.out_labels)
 
     def current_graph(self) -> DiGraph:
-        """The current graph as an immutable :class:`DiGraph`."""
+        """The current graph as an immutable :class:`DiGraph`.
+
+        Tombstoned ids are present as isolated vertices — the id space
+        is dense and never recycled.
+        """
         return DiGraph(self._n, list(self.edges()))
 
     # ------------------------------------------------------------------
@@ -142,14 +212,18 @@ class DynamicReachabilityIndex:
     # ------------------------------------------------------------------
     def subscribe(self, listener) -> None:
         """Register ``listener(op, u, v)`` to run after every *applied*
-        update (``op`` is ``"insert"`` or ``"delete"``).
+        update (``op`` is one of :data:`UPDATE_OPS`).
 
-        Listeners fire only when the graph actually changed — inserting
-        a present edge or deleting an absent one is a no-op and stays
-        silent.  They run after the label sets are consistent again, so
-        a listener may query the index.  This is the invalidation hook
-        the serving layer's :class:`~repro.serve.QueryCache` attaches
-        to (see ``docs/serving.md``).
+        Listeners fire only when the update actually applied — e.g.
+        inserting a present edge is a no-op and stays silent.  They run
+        only after the label sets are consistent again (this holds on
+        *every* path, including the deletion rebuild fallback), so a
+        listener may query the index or take a snapshot.  This is the
+        invalidation hook the serving layer's
+        :class:`~repro.serve.QueryCache` and the replication op log
+        attach to (see ``docs/dynamic.md``).  For ``promote`` the
+        payload is ``(vertex, new_rank)``; for node ops both slots
+        carry the vertex id.
         """
         self._listeners.append(listener)
 
@@ -186,6 +260,7 @@ class DynamicReachabilityIndex:
             self._resume(b, u, forward=False)
         self._sweep_stale(u, v)
         self._notify("insert", u, v)
+        self._check_drift(u, v)
         return True
 
     def _resume(self, hub: int, root: int, forward: bool) -> None:
@@ -254,19 +329,27 @@ class DynamicReachabilityIndex:
         affected_bwd = self._plain_bfs(v, self._out_adj)  # everyone v reaches
         self._out_adj[u].discard(v)
         self._in_adj[v].discard(u)
+        self._repair_after_removal(affected_fwd, affected_bwd)
+        # Listeners fire only here, on the single exit where both
+        # repair paths (per-vertex recompute and rebuild fallback) have
+        # settled — a listener must never observe a stale snapshot.
+        self._notify("delete", u, v)
+        self._check_drift(u, v)
+        return True
 
+    def _repair_after_removal(
+        self, affected_fwd: set[int], affected_bwd: set[int]
+    ) -> None:
+        """Restore exactness after edges vanished, given the affected
+        vertex sets (computed on the pre-removal graph)."""
         threshold = self._rebuild_fraction * self._n
         if len(affected_fwd) + len(affected_bwd) > threshold:
             self._rebuild()
-            self._notify("delete", u, v)
-            return True
-
+            return
         for a in affected_fwd:
             self._recompute_backward(a, forward=True)
         for b in affected_bwd:
             self._recompute_backward(b, forward=False)
-        self._notify("delete", u, v)
-        return True
 
     def _recompute_backward(self, hub: int, forward: bool) -> None:
         """Recompute ``L⁻`` of ``hub`` exactly (Theorem 3) and patch the
@@ -289,11 +372,158 @@ class DynamicReachabilityIndex:
                 labels[w].discard(hub)
 
     # ------------------------------------------------------------------
+    # Node-level updates
+    # ------------------------------------------------------------------
+    def add_node(self) -> int:
+        """Add an isolated vertex; returns its id (always ``num_vertices``
+        before the call — ids are assigned densely and never recycled).
+
+        The new vertex joins at the **tail of the order** (lowest
+        priority), which keeps the index exact for free: its own TOL
+        round reaches only itself and no earlier round can reach it, so
+        its labels are exactly ``{v}``/``{v}`` and nothing else moves.
+        """
+        v = self._n
+        self._n += 1
+        self._alive.append(True)
+        self._out_adj.append(set())
+        self._in_adj.append(set())
+        self.in_labels.append({v})
+        self.out_labels.append({v})
+        self._order = VertexOrder(list(self._order.by_rank()) + [v])
+        self._rank = self._order.ranks
+        self._notify("add_node", v, v)
+        return v
+
+    def delete_node(self, v: int) -> bool:
+        """Delete ``v``: remove every incident edge, tombstone the id.
+
+        The id stays in the (dense) id space as an isolated vertex with
+        labels ``{v}``/``{v}``, so ``snapshot()`` remains byte-equal to
+        ``tol_index(current_graph(), order)`` and downstream consumers
+        keyed by vertex id (shard maps, caches, replicas) need no
+        remapping.  Further mutations of ``v`` raise; queries just see
+        an isolated vertex.  Listeners observe one ``delete_node``
+        notification, not one per removed edge.
+        """
+        self._check_vertex(v)
+        # Affected sets on the OLD graph: one repair pass covers every
+        # incident edge at once (each edge's affected set is contained
+        # in these two BFS cones).
+        affected_fwd = self._plain_bfs(v, self._in_adj)   # everyone reaching v
+        affected_bwd = self._plain_bfs(v, self._out_adj)  # everyone v reaches
+        for x in self._out_adj[v]:
+            self._in_adj[x].discard(v)
+        for x in self._in_adj[v]:
+            self._out_adj[x].discard(v)
+        self._out_adj[v].clear()
+        self._in_adj[v].clear()
+        self._alive[v] = False
+        self._repair_after_removal(affected_fwd, affected_bwd)
+        self._notify("delete_node", v, v)
+        return True
+
+    # ------------------------------------------------------------------
+    # Order upgrades (the TOL butterfly rewrite)
+    # ------------------------------------------------------------------
+    def promote(self, v: int, new_rank: int | None = None) -> int | None:
+        """Move ``v`` hub-ward to ``new_rank`` and rewrite the labels.
+
+        ``new_rank`` defaults to ``v``'s current *degree rank* (its
+        position under the paper's degree order on current degrees).
+        Promotions only move up: when the target rank is not above the
+        current one this is a silent no-op returning ``None``;
+        otherwise the applied rank is returned and listeners see
+        ``("promote", v, new_rank)``.
+
+        The rewrite exploits that a single hub-ward move changes the
+        exact index in only two ways: ``v``'s own entries grow (it lost
+        dominators), and entries of the **band** hubs it overtook can
+        die where ``v`` now dominates them (``h → v → w``).  So: shift
+        the order, run one full pruned BFS pair from ``v`` under the
+        new ranks, then sweep band entries through the standard
+        domination test.  Every other entry is provably untouched.
+        """
+        self._check_vertex(v)
+        if new_rank is None or new_rank < 0:
+            new_rank = self._ideal_rank(v)
+        old_rank = self._rank[v]
+        if new_rank >= old_rank:
+            return None
+        by_rank = list(self._order.by_rank())
+        del by_rank[old_rank]
+        by_rank.insert(new_rank, v)
+        self._order = VertexOrder(by_rank)
+        self._rank = self._order.ranks
+        # The band: hubs v overtook (their rank shifted down by one).
+        band = set(by_rank[new_rank + 1 : old_rank + 1])
+
+        # Grow side: v's coverage under the new order.  A fresh pruned
+        # BFS pair is exact here because every domination witness it
+        # consults involves hubs still above v, whose entries are
+        # unchanged by the move.
+        self._resume(v, v, forward=True)
+        self._resume(v, v, forward=False)
+
+        # Shrink side: only entries (h, w) with h in the band and
+        # h → v → w can have died, and for each the exact index holds a
+        # higher-order witness pair that the domination test finds in
+        # the (sound superset) label sets.
+        forward_cone = self._plain_bfs(v, self._out_adj)
+        backward_cone = self._plain_bfs(v, self._in_adj)
+        for w in forward_cone:
+            for a in [x for x in self.in_labels[w] if x in band and x in backward_cone]:
+                if self._dominated(a, w, self.in_labels, self.out_labels):
+                    self.in_labels[w].discard(a)
+        for w in backward_cone:
+            for b in [x for x in self.out_labels[w] if x in band and x in forward_cone]:
+                if self._dominated(b, w, self.out_labels, self.in_labels):
+                    self.out_labels[w].discard(b)
+        self._notify("promote", v, new_rank)
+        return new_rank
+
+    def drift(self, v: int) -> int:
+        """How many positions ``v``'s frozen rank lags its degree rank.
+
+        Positive drift means the order undervalues ``v`` (its degrees
+        grew since the order froze); automatic upgrades fire when this
+        exceeds the configured ``drift_threshold``.
+        """
+        self._check_vertex(v)
+        return self._rank[v] - self._ideal_rank(v)
+
+    def _degree_key(self, v: int) -> tuple[int, int]:
+        """The paper's order key on *current* degrees (larger = higher
+        priority; ids break ties exactly as :func:`degree_order`)."""
+        return (
+            (len(self._in_adj[v]) + 1) * (len(self._out_adj[v]) + 1),
+            v,
+        )
+
+    def _ideal_rank(self, v: int) -> int:
+        """``v``'s rank under the degree order on current degrees."""
+        key = self._degree_key(v)
+        return sum(
+            1 for w in range(self._n) if w != v and self._degree_key(w) > key
+        )
+
+    def _check_drift(self, *vertices: int) -> None:
+        """Auto-promote updated endpoints whose drift crossed the
+        threshold (no-op without a ``drift_threshold``)."""
+        if self._drift_threshold is None:
+            return
+        for v in vertices:
+            if self._alive[v] and self.drift(v) > self._drift_threshold:
+                self.promote(v)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self._n:
             raise ValueError(f"vertex {v} out of range [0, {self._n})")
+        if not self._alive[v]:
+            raise ValueError(f"vertex {v} was deleted")
 
     def _plain_bfs(self, source: int, adjacency: list[set[int]]) -> set[int]:
         visited = {source}
@@ -327,7 +557,7 @@ class DynamicReachabilityIndex:
         return low, high
 
     def _rebuild(self) -> None:
-        """Recompute every label from scratch under the fixed order."""
+        """Recompute every label from scratch under the current order."""
         from repro.core.tol import tol_index
 
         index = tol_index(self.current_graph(), self._order)

@@ -25,7 +25,7 @@ from repro.faults import FaultPlan, NodeCrash, Straggler
 from repro.graph import generators
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import PARTITIONER_STRATEGIES, Partitioner
-from repro.workloads.updates import UpdateOp, update_stream
+from repro.workloads.updates import UpdateOp, mixed_update_stream
 
 #: The sampled graph families; each stresses a different index regime.
 FAMILIES = ("dag", "cyclic", "scc-heavy", "power-law", "lattice")
@@ -289,10 +289,15 @@ def _case_iter(
         if rng.random() < 0.6:
             graph = case.graph()
             if graph.num_vertices >= 2:
-                ops = update_stream(
+                # Mostly edge-only streams (the historical shape), with
+                # a slice of mixed streams adding node ops and order
+                # upgrades so the dynamic oracle covers all five kinds.
+                ops = mixed_update_stream(
                     graph,
                     count=rng.randint(1, 8),
                     insert_ratio=rng.choice([0.3, 0.5, 0.7]),
+                    node_ratio=rng.choice([0.0, 0.0, 0.25]),
+                    promote_ratio=rng.choice([0.0, 0.2]),
                     seed=rng.randrange(2**31),
                 )
                 case = replace(case, updates=tuple(ops))

@@ -277,19 +277,34 @@ def oracle_fault_equivalence(ctx: CaseContext) -> list[str]:
 
 def oracle_dynamic_vs_rebuild(ctx: CaseContext) -> list[str]:
     """Incremental maintenance equals a from-scratch rebuild after
-    every update in the case's workload."""
+    every update in the case's workload (all five op kinds, plus
+    drift-triggered automatic order upgrades on a slice of cases)."""
     if not ctx.case.updates:  # pragma: no cover - guarded by oracles_for
         return []
-    dynamic = DynamicReachabilityIndex(ctx.graph, order=ctx.order)
+    # Every third case (by seed) also enables automatic drift-triggered
+    # promotion, so organic order upgrades — not just the explicit
+    # promote ops in the stream — are under the oracle too.
+    drift = 2 if ctx.case.seed % 3 == 0 else None
+    dynamic = DynamicReachabilityIndex(
+        ctx.graph, order=ctx.order, drift_threshold=drift
+    )
     violations: list[str] = []
     for step, (op, u, v) in enumerate(ctx.case.updates):
         if op == "insert":
             dynamic.insert_edge(u, v)
         elif op == "delete":
             dynamic.delete_edge(u, v)
+        elif op == "add_node":
+            dynamic.add_node()
+        elif op == "delete_node":
+            dynamic.delete_node(u)
+        elif op == "promote":
+            dynamic.promote(u, None if v < 0 else v)
         else:
             violations.append(f"update {step}: unknown op {op!r}")
             continue
+        # Reread the order each step: node additions and promotions
+        # (explicit or drift-triggered) replace it.
         rebuilt = tol_index(dynamic.current_graph(), dynamic.order)
         snapshot = dynamic.snapshot()
         if snapshot != rebuilt:

@@ -31,11 +31,28 @@ from repro.observe.incident import FlightRecorder, TriggerEngine
 from repro.observe.slo import SLOSpec
 from repro.scenarios.spec import ScenarioSpec, load_scenario
 from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.mutation import MutationBackend
 from repro.serve.faults import ServeFaultInjector
 from repro.serve.pipeline import QueryServer, ServeReport
 from repro.serve.replica import BoundedStalenessReplicator, ReplicatedLabelStore
 from repro.serve.store import ShardedIndexBackend
-from repro.workloads.updates import update_stream
+from repro.workloads.updates import mixed_update_stream, update_stream
+
+
+def _apply_update(dynamic, op: str, u: int, v: int) -> None:
+    """Apply one update op (any of the five kinds) to a dynamic index."""
+    if op == "insert":
+        dynamic.insert_edge(u, v)
+    elif op == "delete":
+        dynamic.delete_edge(u, v)
+    elif op == "add_node":
+        dynamic.add_node()
+    elif op == "delete_node":
+        dynamic.delete_node(u)
+    elif op == "promote":
+        dynamic.promote(u, None if v < 0 else v)
+    else:
+        raise ValueError(f"unknown update op {op!r}")
 
 
 class AuditingBackend:
@@ -143,6 +160,13 @@ class ScenarioResult:
                 "stale_reads": self.report.stale_reads,
                 "confirmed_reads": self.report.confirmed_reads,
                 "shard_skew": self.report.shard_skew,
+                "mutations_offered": self.report.mutations_offered,
+                "mutations_applied": self.report.mutations_applied,
+                "mutations_shed": self.report.mutations_shed,
+                "update_throughput": self.report.update_throughput,
+                "staleness_window_seconds": (
+                    self.report.staleness_window_seconds
+                ),
             },
             "audit": {
                 "audited": self.audited,
@@ -256,13 +280,26 @@ def run_scenario(
 
     # --- the write burst, scheduled on the serving clock -------------
     pending_updates: list[tuple[float, tuple[str, int, int]]] = []
+    serve_writes = spec.updates is not None and spec.updates.via == "serve"
     if spec.updates is not None:
-        stream = update_stream(
-            graph,
-            spec.updates.count,
-            insert_ratio=spec.updates.insert_ratio,
-            seed=spec.updates.seed,
-        )
+        if spec.updates.node_ratio or spec.updates.promote_ratio:
+            stream = mixed_update_stream(
+                graph,
+                spec.updates.count,
+                insert_ratio=spec.updates.insert_ratio,
+                node_ratio=spec.updates.node_ratio,
+                promote_ratio=spec.updates.promote_ratio,
+                seed=spec.updates.seed,
+            )
+        else:
+            # Edge-only bursts keep using the original generator, so
+            # committed scenarios replay byte-identical streams.
+            stream = update_stream(
+                graph,
+                spec.updates.count,
+                insert_ratio=spec.updates.insert_ratio,
+                seed=spec.updates.seed,
+            )
         pending_updates = [
             (spec.updates.start_seconds + i * spec.updates.interval_seconds, op)
             for i, op in enumerate(stream)
@@ -272,18 +309,21 @@ def run_scenario(
     def on_advance(clock: float) -> None:
         # Apply due leader updates first (each stamped with its own
         # scheduled instant so replication delay runs from issue time),
-        # then fire due faults and pump replication/health.
-        cursor = update_cursor[0]
-        while cursor < len(pending_updates) and pending_updates[cursor][0] <= clock:
-            at, (op, u, v) = pending_updates[cursor]
-            if replicator is not None:
-                replicator.note_time(at)
-            if op == "insert":
-                index.insert_edge(u, v)
-            else:
-                index.delete_edge(u, v)
-            cursor += 1
-        update_cursor[0] = cursor
+        # then fire due faults and pump replication/health.  With
+        # ``via: serve`` the writes arrive through the admission queue
+        # instead, so only the fault/replication pump runs here.
+        if not serve_writes:
+            cursor = update_cursor[0]
+            while (
+                cursor < len(pending_updates)
+                and pending_updates[cursor][0] <= clock
+            ):
+                at, (op, u, v) = pending_updates[cursor]
+                if replicator is not None:
+                    replicator.note_time(at)
+                _apply_update(index, op, u, v)
+                cursor += 1
+            update_cursor[0] = cursor
         injector.advance(clock)
 
     # --- flight recorder + incident triggers -------------------------
@@ -301,6 +341,9 @@ def run_scenario(
         store.subscribe(recorder.record_event)
 
     # --- serve --------------------------------------------------------
+    mutation_backend = None
+    if serve_writes:
+        mutation_backend = MutationBackend(index, replicator=replicator)
     server = QueryServer(
         backend,
         queue_depth=serving.queue_depth,
@@ -309,9 +352,18 @@ def run_scenario(
         request_tracing=request_tracing,
         on_advance=on_advance,
         recorder=recorder,
+        mutation_backend=mutation_backend,
     )
     pairs, arrivals = spec.traffic.build(graph.num_vertices)
-    report = server.run_open(pairs, arrivals)
+    if serve_writes:
+        report = server.run_mixed(
+            pairs,
+            arrivals,
+            [op for _, op in pending_updates],
+            [at for at, _ in pending_updates],
+        )
+    else:
+        report = server.run_open(pairs, arrivals)
 
     # --- audit: every served answer vs the oracle at its version -----
     audited = incorrect = 0
@@ -370,10 +422,7 @@ def _audit(
     for record_version, s, t, answer in sorted(records, key=lambda r: r[0]):
         while version < record_version:
             op, u, v = applied_updates[version]
-            if op == "insert":
-                dynamic.insert_edge(u, v)
-            else:
-                dynamic.delete_edge(u, v)
+            _apply_update(dynamic, op, u, v)
             version += 1
         if version not in oracles:
             oracles[version] = TransitiveClosure(dynamic.current_graph())
@@ -400,6 +449,10 @@ def _grade(
         "cache_hit_rate_min": report.cache_hit_rate,
         "confirmed_reads_min": report.confirmed_reads,
         "stale_reads_min": report.stale_reads,
+        "mutations_applied_min": report.mutations_applied,
+        "mutations_shed_max": report.mutations_shed,
+        "update_throughput_min": report.update_throughput,
+        "staleness_window_max_seconds": report.staleness_window_seconds,
     }
     checks = []
     for name, expected in spec.expect.items():

@@ -64,6 +64,10 @@ EXPECTATIONS = {
     "cache_hit_rate_min": "cache hits / lookups",
     "confirmed_reads_min": "stale reads confirmed against the leader",
     "stale_reads_min": "stale reads served under the monotonicity guard",
+    "mutations_applied_min": "writes applied to the leader index",
+    "mutations_shed_max": "writes shed at the admission queue",
+    "update_throughput_min": "applied writes per simulated second",
+    "staleness_window_max_seconds": "peak replication staleness window",
 }
 
 
@@ -222,21 +226,44 @@ class ReplicationSpec:
 
 @dataclass(frozen=True)
 class UpdatesSpec:
-    """A mid-traffic write burst against the leader index."""
+    """A mid-traffic write burst against the leader index.
+
+    ``via`` picks the write route: ``"direct"`` applies each update to
+    the leader at its scheduled time from the serving loop's
+    ``on_advance`` hook (the original behavior); ``"serve"`` submits
+    the writes as requests through the admission queue — they contend
+    with reads, can be shed, and appear in traces and
+    ``serve.mutation.*`` metrics (see ``docs/dynamic.md``).
+    ``node_ratio`` > 0 mixes node additions/deletions into the burst;
+    ``promote_ratio`` > 0 mixes in order upgrades.
+    """
 
     count: int = 20
     insert_ratio: float = 0.5
+    node_ratio: float = 0.0
+    promote_ratio: float = 0.0
     seed: int = 0
     start_seconds: float = 0.0
     interval_seconds: float = 5e-5
+    via: str = "direct"
 
     def __post_init__(self):
         if self.count < 1:
             raise ScenarioSpecError("updates.count must be >= 1")
-        if not 0.0 <= self.insert_ratio <= 1.0:
-            raise ScenarioSpecError("insert_ratio must lie in [0, 1]")
+        for name in ("insert_ratio", "node_ratio", "promote_ratio"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ScenarioSpecError(f"{name} must lie in [0, 1]")
+        if self.node_ratio + self.promote_ratio > 1.0:
+            raise ScenarioSpecError(
+                "node_ratio + promote_ratio must not exceed 1"
+            )
         if self.start_seconds < 0 or self.interval_seconds < 0:
             raise ScenarioSpecError("update times must be non-negative")
+        if self.via not in ("direct", "serve"):
+            raise ScenarioSpecError(
+                f"unknown updates.via {self.via!r} "
+                "(known: direct, serve)"
+            )
 
 
 @dataclass(frozen=True)
@@ -355,8 +382,8 @@ class ScenarioSpec:
             _reject_unknown(
                 updates_raw,
                 {
-                    "count", "insert_ratio", "seed", "start_seconds",
-                    "interval_seconds",
+                    "count", "insert_ratio", "node_ratio", "promote_ratio",
+                    "seed", "start_seconds", "interval_seconds", "via",
                 },
                 "updates",
             )
@@ -436,9 +463,12 @@ class ScenarioSpec:
             raw["updates"] = {
                 "count": self.updates.count,
                 "insert_ratio": self.updates.insert_ratio,
+                "node_ratio": self.updates.node_ratio,
+                "promote_ratio": self.updates.promote_ratio,
                 "seed": self.updates.seed,
                 "start_seconds": self.updates.start_seconds,
                 "interval_seconds": self.updates.interval_seconds,
+                "via": self.updates.via,
             }
         if not self.faults.empty:
             raw["faults"] = self.faults.to_spec()

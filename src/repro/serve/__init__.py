@@ -18,10 +18,14 @@ the ROADMAP's north star asks for.  Four pieces, bottom to top:
 - :mod:`~repro.serve.faults` — serve-side fault schedules (replica
   crash / slow replica / recovery) replayed mid-traffic by a
   :class:`ServeFaultInjector`;
+- :mod:`~repro.serve.mutation` — the write path: a
+  :class:`MutationBackend` applies graph mutations (edge and node ops,
+  order upgrades) to the leader index with simulated costs, so writes
+  ride the same admission queue as reads (``docs/dynamic.md``);
 - :mod:`~repro.serve.pipeline` — the serving loop: bounded admission
-  queue (overflow sheds), request batching, deadline drops, and
-  graceful degradation via
-  :class:`~repro.query.service.FallbackBackend`;
+  queue (overflow sheds), request batching, deadline drops, mixed
+  read/write runs (:meth:`QueryServer.run_mixed`), and graceful
+  degradation via :class:`~repro.query.service.FallbackBackend`;
 - :mod:`~repro.serve.bench` — the ``repro serve-bench`` runner that
   replays a Zipf/Poisson workload cached and uncached and renders one
   baseline-gateable table.
@@ -30,7 +34,13 @@ Architecture, the degradation ladder, and a metrics glossary live in
 ``docs/serving.md``.
 """
 
-from repro.serve.bench import COLUMNS, caching_speedup, run_serve_bench
+from repro.serve.bench import (
+    COLUMNS,
+    MIXED_COLUMNS,
+    caching_speedup,
+    run_mixed_serve_bench,
+    run_serve_bench,
+)
 from repro.serve.cache import CachingBackend, QueryCache
 from repro.serve.faults import (
     ReplicaCrash,
@@ -40,6 +50,7 @@ from repro.serve.faults import (
     ServeFaultPlan,
     ServeFaultSpecError,
 )
+from repro.serve.mutation import MUTATION_OPS, MutationBackend
 from repro.serve.pipeline import QueryServer, ServeReport
 from repro.serve.replica import (
     BoundedStalenessReplicator,
@@ -54,6 +65,9 @@ from repro.serve.store import LabelShard, ShardedIndexBackend, ShardedLabelStore
 __all__ = [
     "BoundedStalenessReplicator",
     "COLUMNS",
+    "MIXED_COLUMNS",
+    "MUTATION_OPS",
+    "MutationBackend",
     "CachingBackend",
     "HealthPolicy",
     "LabelShard",
@@ -73,5 +87,6 @@ __all__ = [
     "ShardedIndexBackend",
     "ShardedLabelStore",
     "caching_speedup",
+    "run_mixed_serve_bench",
     "run_serve_bench",
 ]

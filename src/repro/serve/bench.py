@@ -16,15 +16,19 @@ on an unchanged tree.
 from __future__ import annotations
 
 from repro.bench.results import ExperimentTable
+from repro.core.dynamic import DynamicReachabilityIndex
 from repro.core.tol import tol_index
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import PARTITIONER_STRATEGIES
 from repro.pregel.cost_model import CostModel
 from repro.serve.cache import CachingBackend, QueryCache
+from repro.serve.mutation import MutationBackend
 from repro.serve.pipeline import QueryServer, ServeReport
+from repro.serve.replica import BoundedStalenessReplicator, ReplicatedLabelStore
 from repro.serve.store import ShardedIndexBackend, ShardedLabelStore
 from repro.telemetry import trace_span
 from repro.workloads.traffic import poisson_arrivals, uniform_arrivals, zipf_pairs
+from repro.workloads.updates import mixed_update_stream
 
 #: Columns of the serve-bench table, in print order.
 COLUMNS = [
@@ -36,6 +40,20 @@ COLUMNS = [
     "shard skew",
     "shed",
     "served",
+]
+
+#: Columns of the mixed (read/write) serve-bench table.
+MIXED_COLUMNS = [
+    "read q/s",
+    "update u/s",
+    "p50 s",
+    "p99 s",
+    "write p99 s",
+    "staleness s",
+    "hit rate",
+    "stale reads",
+    "served",
+    "applied",
 ]
 
 
@@ -135,6 +153,130 @@ def run_serve_bench(
         table.set(row, "shard skew", report.shard_skew)
         table.set(row, "shed", float(report.shed))
         table.set(row, "served", float(report.served))
+    return table, reports
+
+
+def run_mixed_serve_bench(
+    graph: DiGraph,
+    *,
+    shards: int = 8,
+    partitioner: str = "hash",
+    requests: int = 20000,
+    rate: float = 2_000_000.0,
+    zipf: float = 1.4,
+    cache_size: int = 65536,
+    negative_cache: bool = True,
+    queue_depth: int = 1024,
+    batch_size: int = 32,
+    deadline_seconds: float | None = None,
+    seed: int = 0,
+    writes: int = 2000,
+    write_rate: float = 200_000.0,
+    insert_ratio: float = 0.6,
+    node_ratio: float = 0.1,
+    promote_ratio: float = 0.05,
+    replicas: int = 2,
+    replication_delay: float = 2e-3,
+    max_lag: int = 64,
+    drift_threshold: int | None = None,
+    with_cache: bool = True,
+    without_cache: bool = True,
+    cost_model: CostModel | None = None,
+) -> tuple[ExperimentTable, dict[str, ServeReport]]:
+    """The mixed read/write serving benchmark (``serve-bench --mode mixed``).
+
+    Interleaves a Zipf-skewed read stream (open loop, Poisson arrivals
+    at ``rate``) with a Poisson write stream at ``write_rate`` — a
+    valid-at-position mix of edge inserts/deletes, node add/deletes
+    (``node_ratio``), and order upgrades (``promote_ratio``) — through
+    one admission queue.  The serving stack is the full dynamic one:
+    a writable leader (optionally with automatic drift-triggered
+    upgrades via ``drift_threshold``), ``replicas`` bounded-staleness
+    replica groups fed by the leader's op log, and the query cache
+    invalidated through the leader's listener hooks.  Reports update
+    throughput, the peak replication staleness window, and read
+    latency under write pressure — cached and uncached rows, same
+    baseline machinery as the read-only bench
+    (``benchmarks/baselines/serve-bench-mixed.json``).
+    """
+    if partitioner not in PARTITIONER_STRATEGIES:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r} "
+            f"(choose from {sorted(PARTITIONER_STRATEGIES)})"
+        )
+    pairs = zipf_pairs(graph.num_vertices, requests, seed=seed, skew=zipf)
+    arrivals = poisson_arrivals(requests, rate, seed=seed + 7)
+    mutations = mixed_update_stream(
+        graph,
+        writes,
+        insert_ratio=insert_ratio,
+        node_ratio=node_ratio,
+        promote_ratio=promote_ratio,
+        seed=seed + 13,
+    )
+    mutation_arrivals = poisson_arrivals(writes, write_rate, seed=seed + 17)
+
+    table = ExperimentTable(
+        title=f"serve-bench mixed — n={graph.num_vertices} m={graph.num_edges} "
+        f"shards={shards} x{replicas} ({requests} reads + {writes} writes)",
+        columns=list(MIXED_COLUMNS),
+        scientific=True,
+    )
+    rows = []
+    if with_cache:
+        rows.append(("cached", True))
+    if without_cache:
+        rows.append(("uncached", False))
+    reports: dict[str, ServeReport] = {}
+    for row, use_cache in rows:
+        with trace_span("serve.build", vertices=graph.num_vertices):
+            leader = DynamicReachabilityIndex(
+                graph, drift_threshold=drift_threshold
+            )
+        replicator = BoundedStalenessReplicator(
+            leader,
+            num_replicas=replicas,
+            delay_seconds=replication_delay,
+            max_lag=max_lag,
+        )
+        store = ReplicatedLabelStore(
+            leader,
+            num_shards=shards,
+            partitioner=PARTITIONER_STRATEGIES[partitioner](
+                shards, graph.num_vertices
+            ),
+            cost_model=cost_model,
+            replicas=replicas,
+            replicator=replicator,
+        )
+        backend = ShardedIndexBackend(store)
+        if use_cache:
+            cache = QueryCache(cache_size, negative_caching=negative_cache)
+            cache.attach(leader)
+            backend = CachingBackend(backend, cache, cost_model)
+        server = QueryServer(
+            backend,
+            queue_depth=queue_depth,
+            batch_size=batch_size,
+            deadline_seconds=deadline_seconds,
+            cost_model=cost_model,
+            on_advance=store.advance,
+            mutation_backend=MutationBackend(
+                leader, cost_model=cost_model, replicator=replicator
+            ),
+        )
+        report = server.run_mixed(pairs, arrivals, mutations, mutation_arrivals)
+        reports[row] = report
+        table.set(row, "read q/s", report.throughput)
+        table.set(row, "update u/s", report.update_throughput)
+        table.set(row, "p50 s", report.p50_seconds)
+        table.set(row, "p99 s", report.p99_seconds)
+        table.set(row, "write p99 s", report.mutation_p99_seconds)
+        table.set(row, "staleness s", report.staleness_window_seconds)
+        table.set(row, "hit rate", report.cache_hit_rate)
+        table.set(row, "stale reads", float(report.stale_reads))
+        table.set(row, "served", float(report.served))
+        table.set(row, "applied", float(report.mutations_applied))
     return table, reports
 
 

@@ -108,8 +108,10 @@ class QueryCache:
         """
         if op == "insert":
             doomed = False  # negatives may have flipped
-        elif op == "delete":
+        elif op in ("delete", "delete_node"):
             doomed = True   # positives may have flipped
+        elif op in ("add_node", "promote"):
+            return 0        # reachability is unchanged; nothing stales
         else:
             raise ValueError(f"unknown update op {op!r}")
         stale = [key for key, answer in self._entries.items() if answer == doomed]

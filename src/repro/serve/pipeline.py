@@ -97,6 +97,15 @@ class ServeReport:
     forced_catchups: int = 0
     replication_lag: int = 0
     replicas_down: int = 0
+    mutations_offered: int = 0
+    mutations_applied: int = 0
+    mutations_noop: int = 0
+    mutations_rejected: int = 0
+    mutations_shed: int = 0
+    mutation_p50_seconds: float = 0.0
+    mutation_p99_seconds: float = 0.0
+    mutation_max_seconds: float = 0.0
+    staleness_window_seconds: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -122,6 +131,13 @@ class ServeReport:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def update_throughput(self) -> float:
+        """Applied mutations per simulated second of makespan."""
+        if not self.makespan_seconds:
+            return 0.0
+        return self.mutations_applied / self.makespan_seconds
+
     def summary(self) -> str:
         """Multi-line human-readable report."""
         lines = [
@@ -134,6 +150,15 @@ class ServeReport:
             f"  latency p50 {self.p50_seconds:.2e}s  p99 {self.p99_seconds:.2e}s  "
             f"p999 {self.p999_seconds:.2e}s  max {self.max_seconds:.2e}s",
         ]
+        if self.mutations_offered:
+            lines.append(
+                f"  writes: {self.mutations_offered} offered, "
+                f"{self.mutations_applied} applied, {self.mutations_noop} no-op, "
+                f"{self.mutations_rejected} rejected, {self.mutations_shed} shed "
+                f"({self.update_throughput:,.0f} u/s, "
+                f"write p99 {self.mutation_p99_seconds:.2e}s, "
+                f"staleness window {self.staleness_window_seconds:.2e}s)"
+            )
         if self.cache_hits or self.cache_misses:
             lines.append(
                 f"  cache: {self.cache_hit_rate:.1%} hit rate "
@@ -215,6 +240,14 @@ class QueryServer:
         serving clock, feeding the incident trigger engine.  Attaching
         a recorder turns request tracing on (unless explicitly forced
         off) so the records carry trace ids and stage chains.
+    mutation_backend:
+        Optional :class:`~repro.serve.mutation.MutationBackend`
+        enabling the write path: :meth:`submit_mutation` and the write
+        half of :meth:`run_mixed` route through it.  Writes share the
+        admission queue with reads (and get shed by the same
+        backpressure), but are **never deadline-dropped** — a client
+        that stopped waiting for an answer still wants its write
+        applied.
     """
 
     def __init__(
@@ -228,6 +261,7 @@ class QueryServer:
         request_tracing: bool | None = None,
         on_advance=None,
         recorder=None,
+        mutation_backend=None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
@@ -244,8 +278,26 @@ class QueryServer:
         self._request_tracing = request_tracing
         self._on_advance = on_advance
         self._recorder = recorder
+        self._mutation_backend = mutation_backend
 
     # -- entry points --------------------------------------------------
+    def submit_mutation(
+        self, op: str, u: int, v: int = -1, at: float = 0.0
+    ) -> tuple[str, float]:
+        """Apply one mutation immediately (no queueing): the one-shot
+        write API.  Returns ``(status, simulated_seconds)`` — see
+        :meth:`~repro.serve.mutation.MutationBackend.apply_with_cost`.
+
+        This bypasses admission (nothing else is in flight), but still
+        runs the full mutation path: listener-driven cache
+        invalidation, replication op-log append, ``serve.mutation``
+        telemetry.  For interleaved read/write traffic use
+        :meth:`run_mixed`, which routes writes through the queue.
+        """
+        if self._mutation_backend is None:
+            raise ValueError("server was built without a mutation_backend")
+        return self._mutation_backend.apply_with_cost(op, u, v, at=at)
+
     def run_open(
         self,
         pairs: Sequence[tuple[int, int]],
@@ -281,6 +333,50 @@ class QueryServer:
             "closed", pairs, None, clients=clients, think_seconds=think_seconds
         )
 
+    def run_mixed(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        arrivals: Sequence[float],
+        mutations: Sequence[tuple[str, int, int]],
+        mutation_arrivals: Sequence[float],
+    ) -> ServeReport:
+        """Open-loop run interleaving reads and writes on one queue.
+
+        ``pairs``/``arrivals`` are the read stream exactly as
+        :meth:`run_open`; ``mutations``/``mutation_arrivals`` are
+        ``(op, u, v)`` writes on their own (non-decreasing) schedule.
+        The two streams are merged by arrival time (reads first on
+        ties) and served through the same admission queue, batching,
+        and dispatch costs — so a write storm contends with reads for
+        queue capacity and inflates read latency, which is the point
+        of measuring them together.
+        """
+        if self._mutation_backend is None:
+            raise ValueError("server was built without a mutation_backend")
+        if len(pairs) != len(arrivals):
+            raise ValueError("need one arrival time per pair")
+        if len(mutations) != len(mutation_arrivals):
+            raise ValueError("need one arrival time per mutation")
+        for schedule in (arrivals, mutation_arrivals):
+            if any(b < a for a, b in zip(schedule, schedule[1:])):
+                raise ValueError("arrival times must be non-decreasing")
+        merged: list[tuple] = []
+        merged_arrivals: list[float] = []
+        i = j = 0
+        while i < len(pairs) or j < len(mutations):
+            take_read = j >= len(mutations) or (
+                i < len(pairs) and arrivals[i] <= mutation_arrivals[j]
+            )
+            if take_read:
+                merged.append(tuple(pairs[i]))
+                merged_arrivals.append(arrivals[i])
+                i += 1
+            else:
+                merged.append(tuple(mutations[j]))
+                merged_arrivals.append(mutation_arrivals[j])
+                j += 1
+        return self._run("mixed", merged, merged_arrivals)
+
     # -- the serving loop ----------------------------------------------
     def _run(
         self,
@@ -291,13 +387,20 @@ class QueryServer:
         think_seconds: float = 0.0,
     ) -> ServeReport:
         backend = self._backend
+        mutation_backend = self._mutation_backend
         deadline = self._deadline
         queue: deque[tuple[int, float]] = deque()  # (pair index, arrival)
         latencies: list[float] = []
+        write_latencies: list[float] = []
         clock = 0.0
         shed = deadline_dropped = served = positives = batches = failed = 0
+        mut_applied = mut_noop = mut_rejected = mut_shed = 0
         queue_peak = 0
         n = len(pairs)
+        # Mixed runs carry (op, u, v) writes in the same request list;
+        # reads stay 2-tuples.  Reported "offered" counts reads only.
+        reads_offered = sum(1 for request in pairs if len(request) == 2)
+        mutations_offered = n - reads_offered
         next_request = 0
         # Request tracing: off by default unless telemetry is on or a
         # flight recorder wants the records, and forceable either way.
@@ -353,23 +456,31 @@ class QueryServer:
                         arrived = heapq.heappop(ready)
                     else:
                         arrived = arrivals[next_request]
+                    request = pairs[next_request]
+                    is_write = len(request) == 3
                     if len(queue) >= self._queue_depth:
-                        shed += 1
+                        if is_write:
+                            mut_shed += 1
+                        else:
+                            shed += 1
                         if tracing:
                             # Shed requests leave a terminal trace too:
                             # the drop reason is part of the record.
-                            source, target = pairs[next_request]
+                            source, target = request[-2], request[-1]
                             dropped = RequestTrace(
                                 trace_ids.next_id(), source, target, arrived
                             )
                             dropped.finish("shed", reason="queue_full")
-                            terminal(clock, dropped)
+                            if is_write:
+                                terminal(clock, dropped, op=request[0])
+                            else:
+                                terminal(clock, dropped)
                         if mode == "closed":  # the client retries at once
                             heapq.heappush(ready, clock)
                     else:
                         queue.append((next_request, arrived))
                         if tracing:
-                            source, target = pairs[next_request]
+                            source, target = request[-2], request[-1]
                             traces[next_request] = RequestTrace(
                                 trace_ids.next_id(), source, target, arrived
                             )
@@ -379,7 +490,13 @@ class QueryServer:
                 batch: list[tuple[int, float]] = []
                 while queue and len(batch) < self._batch_size:
                     k, arrived = queue.popleft()
-                    if deadline is not None and clock - arrived > deadline:
+                    # Writes are never deadline-dropped: the mutation
+                    # must land even if its submitter stopped waiting.
+                    if (
+                        deadline is not None
+                        and len(pairs[k]) == 2
+                        and clock - arrived > deadline
+                    ):
                         deadline_dropped += 1
                         if tracing:
                             expired = traces.pop(k)
@@ -403,6 +520,41 @@ class QueryServer:
                 dequeued_at = clock
                 clock += self._dispatch_seconds
                 for k, arrived in batch:
+                    request = pairs[k]
+                    if len(request) == 3:
+                        # Write path: apply on the leader through the
+                        # MutationBackend (which adds its own
+                        # "mutation" trace stage and telemetry event).
+                        op, u, v = request
+                        if tracing:
+                            trace = traces.pop(k)
+                            trace.add_stage("admission", dequeued_at - arrived)
+                            begin_request(trace)
+                            try:
+                                status, seconds = mutation_backend.apply_with_cost(
+                                    op, u, v, at=clock
+                                )
+                            finally:
+                                end_request()
+                        else:
+                            status, seconds = mutation_backend.apply_with_cost(
+                                op, u, v, at=clock
+                            )
+                        clock += seconds
+                        if status == "applied":
+                            mut_applied += 1
+                        elif status == "noop":
+                            mut_noop += 1
+                        else:
+                            mut_rejected += 1
+                        latency = clock - arrived
+                        write_latencies.append(latency)
+                        if tracing:
+                            trace.finish("served", latency)
+                            terminal(clock, trace, op=op, status=status)
+                        if mode == "closed":
+                            heapq.heappush(ready, clock + think_seconds)
+                        continue
                     error = None
                     if tracing:
                         trace = traces.pop(k)
@@ -456,9 +608,15 @@ class QueryServer:
             span.add_simulated(clock)
 
         latencies.sort()
+        write_latencies.sort()
+        staleness = (
+            mutation_backend.staleness_window_seconds
+            if mutation_backend is not None
+            else 0.0
+        )
         report = ServeReport(
             mode=mode,
-            offered=n,
+            offered=reads_offered,
             served=served,
             shed=shed,
             deadline_dropped=deadline_dropped,
@@ -472,9 +630,18 @@ class QueryServer:
             p999_seconds=_percentile(latencies, 0.999),
             max_seconds=latencies[-1] if latencies else 0.0,
             failed=failed,
+            mutations_offered=mutations_offered,
+            mutations_applied=mut_applied,
+            mutations_noop=mut_noop,
+            mutations_rejected=mut_rejected,
+            mutations_shed=mut_shed,
+            mutation_p50_seconds=_percentile(write_latencies, 0.50),
+            mutation_p99_seconds=_percentile(write_latencies, 0.99),
+            mutation_max_seconds=write_latencies[-1] if write_latencies else 0.0,
+            staleness_window_seconds=staleness,
             **self._backend_stats(),
         )
-        self._record_metrics(report, latencies, exemplars)
+        self._record_metrics(report, latencies, exemplars, write_latencies)
         return report
 
     def _backend_stats(self) -> dict:
@@ -510,6 +677,7 @@ class QueryServer:
         report: ServeReport,
         latencies: list[float],
         exemplars: list[tuple[float, str]] = (),
+        write_latencies: list[float] = (),
     ) -> None:
         registry = self._metrics
         if registry is None:
@@ -557,4 +725,24 @@ class QueryServer:
             registry.counter("serve.cache.evictions").inc(report.cache_evictions)
         if report.shard_loads:
             registry.gauge("serve.shard_skew").set(report.shard_skew)
+        if report.mutations_offered:
+            registry.counter("serve.mutation.requests").inc(
+                report.mutations_offered
+            )
+            registry.counter("serve.mutation.applied").inc(
+                report.mutations_applied
+            )
+            registry.counter("serve.mutation.noop").inc(report.mutations_noop)
+            registry.counter("serve.mutation.rejected").inc(
+                report.mutations_rejected
+            )
+            registry.counter("serve.mutation.shed").inc(report.mutations_shed)
+            write_histogram = registry.histogram(
+                "serve.mutation.latency_seconds", LATENCY_BUCKETS
+            )
+            for latency in write_latencies:
+                write_histogram.observe(latency)
+            registry.gauge("serve.mutation.staleness_window_seconds").set(
+                report.staleness_window_seconds
+            )
         registry.gauge("serve.degraded").set(int(report.degraded))

@@ -237,6 +237,29 @@ class BoundedStalenessReplicator:
     def _on_update(self, op: str, u: int, v: int) -> None:
         self.log.append((op, u, v, self.clock))
 
+    @staticmethod
+    def _apply_op(follower, op: str, u: int, v: int) -> None:
+        """Replay one logged leader op on a follower index.
+
+        ``add_node`` needs no payload: ids are assigned densely from a
+        shared starting point, so replaying ops in log order yields the
+        same ids on every follower.  ``promote`` replays the concrete
+        rank the leader applied (the leader resolves drift-triggered
+        promotions before logging), keeping follower orders identical.
+        """
+        if op == "insert":
+            follower.insert_edge(u, v)
+        elif op == "delete":
+            follower.delete_edge(u, v)
+        elif op == "add_node":
+            follower.add_node()
+        elif op == "delete_node":
+            follower.delete_node(u)
+        elif op == "promote":
+            follower.promote(u, v)
+        else:
+            raise ValueError(f"unknown update op {op!r}")
+
     def note_time(self, clock: float) -> None:
         """Stamp subsequent leader updates with this issue time."""
         self.clock = clock
@@ -262,11 +285,27 @@ class BoundedStalenessReplicator:
         for op, _, _, _ in self.log[self._applied[replica]:]:
             if op == "insert":
                 inserts = True
-            else:
+            elif op in ("delete", "delete_node"):
                 deletes = True
+            # add_node / promote never change an answer: neutral.
             if inserts and deletes:
                 break
         return inserts, deletes
+
+    def staleness_window(self, clock: float) -> float:
+        """Age of the oldest leader op some follower has yet to apply.
+
+        0.0 when every follower is caught up — the bound the serving
+        layer reports as ``staleness_window_seconds``.
+        """
+        oldest = None
+        for r in range(1, self.num_replicas):
+            i = self._applied[r]
+            if i < len(self.log):
+                issued = self.log[i][3]
+                if oldest is None or issued < oldest:
+                    oldest = issued
+        return 0.0 if oldest is None else max(0.0, clock - oldest)
 
     def view(self, replica: int):
         """The index group ``replica`` serves reads from."""
@@ -289,10 +328,7 @@ class BoundedStalenessReplicator:
             i = self._applied[r]
             while i < len(self.log) and self.log[i][3] + self.delay_seconds <= clock:
                 op, u, v, _ = self.log[i]
-                if op == "insert":
-                    follower.insert_edge(u, v)
-                else:
-                    follower.delete_edge(u, v)
+                self._apply_op(follower, op, u, v)
                 i += 1
                 applied += 1
             self._applied[r] = i
@@ -307,10 +343,7 @@ class BoundedStalenessReplicator:
         count = 0
         while i < len(self.log):
             op, u, v, _ = self.log[i]
-            if op == "insert":
-                follower.insert_edge(u, v)
-            else:
-                follower.delete_edge(u, v)
+            self._apply_op(follower, op, u, v)
             i += 1
             count += 1
         self._applied[replica] = i

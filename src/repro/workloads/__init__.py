@@ -18,7 +18,12 @@ from repro.workloads.traffic import (
     uniform_arrivals,
     zipf_pairs,
 )
-from repro.workloads.updates import apply_stream, update_stream
+from repro.workloads.updates import (
+    IDEAL_RANK,
+    apply_stream,
+    mixed_update_stream,
+    update_stream,
+)
 
 __all__ = [
     "DATASETS",
@@ -34,5 +39,7 @@ __all__ = [
     "random_pairs",
     "uniform_arrivals",
     "update_stream",
+    "mixed_update_stream",
+    "IDEAL_RANK",
     "zipf_pairs",
 ]

@@ -636,3 +636,23 @@ def test_serve_bench_report_written_atomically(tmp_path, capsys):
     assert all(
         row["served"] <= row["offered"] for row in payload["rows"].values()
     )
+
+
+def test_serve_bench_mixed_mode_reports_write_columns(capsys):
+    assert main([
+        "serve-bench", "--vertices", "120", "--requests", "400",
+        "--mode", "mixed", "--writes", "40", "--shards", "2",
+        "--seed", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "update u/s" in out
+    assert "stale reads" in out
+    assert "applied" in out
+
+
+def test_serve_bench_mixed_bad_ratio_exits_2(capsys):
+    assert main([
+        "serve-bench", "--vertices", "60", "--requests", "10",
+        "--mode", "mixed", "--writes", "5", "--node-ratio", "1.5",
+    ]) == 2
+    assert "node_ratio" in capsys.readouterr().err

@@ -236,3 +236,19 @@ def test_main_list_mode_runs_nothing(tmp_path, capsys):
     path = _write(tmp_path, "```bash\nrepro datasets\n```\n")
     assert check_docs.main(["--list", str(path)]) == 0
     assert "would run" in capsys.readouterr().out
+
+
+def test_cli_table_coverage_passes_on_real_docs():
+    failures = check_docs.check_cli_table(
+        check_docs.REPO_ROOT / "docs" / "api.md"
+    )
+    assert failures == []
+
+
+def test_cli_table_coverage_flags_missing_subcommand(tmp_path):
+    api = tmp_path / "api.md"
+    api.write_text("| Command | Purpose |\n|---|---|\n| `build` | x |\n")
+    failures = check_docs.check_cli_table(api)
+    missing = {f.what.split("`")[1] for f in failures}
+    assert "query" in missing and "serve-bench" in missing
+    assert "build" not in missing

@@ -163,6 +163,211 @@ def test_edges_and_has_edge_views():
 
 
 # ----------------------------------------------------------------------
+# Node additions and deletions
+# ----------------------------------------------------------------------
+def test_add_node_appends_dense_id_at_tail():
+    g = DiGraph(3, [(0, 1)])
+    dynamic = DynamicReachabilityIndex(g, VertexOrder([0, 1, 2]))
+    v = dynamic.add_node()
+    assert v == 3  # dense ids, never recycled
+    assert dynamic.num_vertices == 4
+    assert list(dynamic.order.by_rank())[-1] == v  # tail of the order
+    assert dynamic.in_labels[v] == {v}
+    assert dynamic.out_labels[v] == {v}
+    _assert_exact(dynamic)
+    # The fresh vertex participates in subsequent edge updates.
+    dynamic.insert_edge(1, v)
+    assert dynamic.query(0, v)
+    _assert_exact(dynamic)
+
+
+def test_delete_node_removes_incident_edges_in_one_pass():
+    g = DiGraph(5, [(0, 2), (1, 2), (2, 3), (2, 4), (0, 1)])
+    dynamic = DynamicReachabilityIndex(g)
+    assert dynamic.delete_node(2)
+    assert not dynamic.is_alive(2)
+    assert sorted(dynamic.edges()) == [(0, 1)]
+    assert not dynamic.query(0, 3)
+    _assert_exact(dynamic)
+
+
+def test_delete_node_tombstone_queries_ok_mutations_raise():
+    g = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    dynamic = DynamicReachabilityIndex(g)
+    assert dynamic.delete_node(1)
+    with pytest.raises(ValueError):
+        dynamic.delete_node(1)  # the tombstone cannot be deleted again
+    # Queries against the tombstone are permitted: it is isolated.
+    assert not dynamic.query(0, 1)
+    assert not dynamic.query(1, 2)
+    assert dynamic.query(1, 1)
+    assert dynamic.alive_vertices() == [0, 2, 3]
+    # Mutating it is not.
+    with pytest.raises(ValueError):
+        dynamic.insert_edge(0, 1)
+    with pytest.raises(ValueError):
+        dynamic.delete_edge(1, 2)
+    with pytest.raises(ValueError):
+        dynamic.promote(1)
+    _assert_exact(dynamic)
+
+
+def test_delete_node_fires_a_single_notification():
+    g = DiGraph(4, [(0, 1), (1, 2), (1, 3), (2, 3)])
+    dynamic = DynamicReachabilityIndex(g)
+    events = []
+    dynamic.subscribe(lambda op, u, v: events.append((op, u, v)))
+    dynamic.delete_node(1)
+    # One settled notification, not one per removed incident edge.
+    assert events == [("delete_node", 1, 1)]
+
+
+# ----------------------------------------------------------------------
+# Order upgrades (TOL butterfly rewrite)
+# ----------------------------------------------------------------------
+def test_promote_snapshot_equals_tol_under_upgraded_order():
+    """Acceptance criterion: after ``promote`` the snapshot must be
+    byte-equal to ``tol_index(current_graph, upgraded_order)``."""
+    g = random_digraph(30, 110, seed=7)
+    dynamic = DynamicReachabilityIndex(g)
+    for v in (29, 17, 23, 5):
+        old_rank = dynamic.order.ranks[v]
+        new_rank = dynamic.promote(v, max(0, old_rank - 7))
+        if new_rank is None:
+            continue
+        assert dynamic.order.ranks[v] == new_rank
+        assert dynamic.snapshot() == tol_index(
+            dynamic.current_graph(), dynamic.order
+        )
+
+
+def test_promote_to_ideal_rank_by_default():
+    # Vertex 3 starts with no edges (lowest degree key) and then becomes
+    # the best-connected vertex; promote() should move it to rank 0.
+    g = DiGraph(6, [(0, 1), (1, 2), (4, 5)])
+    dynamic = DynamicReachabilityIndex(g)
+    for u in (0, 1, 2, 4, 5):
+        if u != 3:
+            dynamic.insert_edge(3, u) if not dynamic.has_edge(3, u) else None
+            if not dynamic.has_edge(u, 3):
+                dynamic.insert_edge(u, 3)
+    assert dynamic.drift(3) > 0
+    new_rank = dynamic.promote(3)
+    assert new_rank == dynamic._ideal_rank(3) == 0
+    assert dynamic.drift(3) <= 0
+    _assert_exact(dynamic)
+
+
+def test_promote_hubward_only():
+    g = random_digraph(12, 30, seed=4)
+    dynamic = DynamicReachabilityIndex(g)
+    top = list(dynamic.order.by_rank())[0]
+    events = []
+    dynamic.subscribe(lambda op, u, v: events.append(op))
+    assert dynamic.promote(top, 5) is None  # demotion request refused
+    assert dynamic.promote(top, 99) is None  # ditto, past the tail
+    # A negative target is the "ideal rank" sentinel, not an error; the
+    # top vertex is already at or above it, so still a silent no-op.
+    assert dynamic.promote(top, -1) is None
+    assert events == []
+    _assert_exact(dynamic)
+
+
+def test_drift_threshold_auto_promotes_on_edge_updates():
+    g = DiGraph(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)])
+    dynamic = DynamicReachabilityIndex(g, drift_threshold=2)
+    promotions = []
+
+    def listener(op, u, v):
+        if op == "promote":
+            promotions.append((u, v))
+
+    dynamic.subscribe(listener)
+    # Fatten vertex 7 (initially edgeless, hence rank tail) until its
+    # degree rank outruns its frozen rank by more than the threshold.
+    for u in (0, 1, 2, 3, 4, 5):
+        dynamic.insert_edge(u, 7)
+        dynamic.insert_edge(7, (u + 1) % 7)
+        _assert_exact(dynamic)
+    assert any(v == 7 for v, _ in promotions)
+    assert dynamic.drift(7) <= 2
+    _assert_exact(dynamic)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    digraphs(max_vertices=10),
+    st.lists(st.integers(0, 9), max_size=6),
+)
+def test_property_promote_sequences_stay_exact(g, vertices):
+    dynamic = DynamicReachabilityIndex(g)
+    for raw in vertices:
+        v = raw % g.num_vertices
+        dynamic.promote(v)
+        assert dynamic.snapshot() == tol_index(
+            dynamic.current_graph(), dynamic.order
+        )
+
+
+# ----------------------------------------------------------------------
+# Listener ordering: notifications fire only on a consistent index
+# ----------------------------------------------------------------------
+class _ConsistencyListener:
+    """Asserts, *at notification time*, that the index already equals a
+    fresh TOL rebuild — i.e. listeners never observe a half-updated
+    index on any code path (regression guard for the serving layer's
+    cache-invalidation and replication hooks)."""
+
+    def __init__(self, dynamic: DynamicReachabilityIndex):
+        self.dynamic = dynamic
+        self.events: list[tuple[str, int, int]] = []
+
+    def __call__(self, op, u, v):
+        self.events.append((op, u, v))
+        assert op in ("insert", "delete", "add_node", "delete_node", "promote")
+        expected = tol_index(self.dynamic.current_graph(), self.dynamic.order)
+        assert self.dynamic.snapshot() == expected, (
+            f"listener for {op!r} saw an inconsistent index"
+        )
+
+
+def test_listeners_see_consistent_index_on_every_path():
+    g = random_digraph(20, 55, seed=6)
+    dynamic = DynamicReachabilityIndex(g, drift_threshold=3)
+    listener = _ConsistencyListener(dynamic)
+    dynamic.subscribe(listener)
+    dynamic.insert_edge(2, 17)
+    dynamic.delete_edge(2, 17)  # per-vertex recompute path
+    dynamic.add_node()
+    dynamic.insert_edge(20, 0)
+    dynamic.promote(19)
+    dynamic.delete_node(3)
+    assert [op for op, _, _ in listener.events][:2] == ["insert", "delete"]
+    assert "delete_node" in [op for op, _, _ in listener.events]
+
+
+def test_listener_consistent_on_deletion_rebuild_fallback():
+    g = random_digraph(18, 50, seed=8)
+    dynamic = DynamicReachabilityIndex(g, rebuild_fraction=1e-6)
+    listener = _ConsistencyListener(dynamic)
+    dynamic.subscribe(listener)
+    u, v = next(iter(g.edges()))
+    assert dynamic.delete_edge(u, v)  # forces the full-rebuild branch
+    assert listener.events == [("delete", u, v)]
+
+
+def test_unsubscribe_stops_notifications():
+    dynamic = DynamicReachabilityIndex(DiGraph(3, []))
+    events = []
+    listener = lambda op, u, v: events.append(op)  # noqa: E731
+    dynamic.subscribe(listener)
+    dynamic.insert_edge(0, 1)
+    dynamic.unsubscribe(listener)
+    dynamic.insert_edge(1, 2)
+    assert events == ["insert"]
+
+
+# ----------------------------------------------------------------------
 # Property tests: exactness under random update sequences
 # ----------------------------------------------------------------------
 @settings(max_examples=40, deadline=None)

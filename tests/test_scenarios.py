@@ -167,13 +167,13 @@ def test_library_has_the_documented_scenarios():
     names = set(library_scenarios())
     assert names == {
         "flash_crowd", "diurnal_wave", "hot_key_storm",
-        "shard_loss_write_burst", "cache_stampede",
+        "shard_loss_write_burst", "cache_stampede", "write_storm",
     }
 
 
 @pytest.mark.parametrize("name", sorted(
     ["flash_crowd", "diurnal_wave", "hot_key_storm",
-     "shard_loss_write_burst", "cache_stampede"]
+     "shard_loss_write_burst", "cache_stampede", "write_storm"]
 ))
 def test_library_scenario_passes(name):
     result = run_scenario_file(library_scenarios()[name])

@@ -75,3 +75,79 @@ def test_property_stream_applies_exactly(n, count):
     assert dynamic.snapshot() == tol_index(
         dynamic.current_graph(), dynamic.order
     )
+
+
+# ----------------------------------------------------------------------
+# Mixed streams: node ops and order upgrades
+# ----------------------------------------------------------------------
+def test_mixed_stream_validity_at_position():
+    from repro.workloads.updates import IDEAL_RANK, mixed_update_stream
+
+    g = random_digraph(15, 40, seed=21)
+    stream = mixed_update_stream(
+        g, 60, node_ratio=0.3, promote_ratio=0.2, seed=22
+    )
+    assert len(stream) == 60
+    present = set(g.edges())
+    alive = set(range(g.num_vertices))
+    next_id = g.num_vertices
+    for op, u, v in stream:
+        if op == "insert":
+            assert u in alive and v in alive and u != v
+            assert (u, v) not in present
+            present.add((u, v))
+        elif op == "delete":
+            assert (u, v) in present
+            present.discard((u, v))
+        elif op == "add_node":
+            assert u == v == next_id  # predicted dense id
+            alive.add(next_id)
+            next_id += 1
+        elif op == "delete_node":
+            assert u == v and u in alive
+            alive.discard(u)
+            present = {(a, b) for a, b in present if u not in (a, b)}
+        else:
+            assert op == "promote"
+            assert u in alive and v == IDEAL_RANK
+    assert any(op in ("add_node", "delete_node") for op, _, _ in stream)
+    assert any(op == "promote" for op, _, _ in stream)
+
+
+def test_mixed_stream_edge_only_when_ratios_zero():
+    from repro.workloads.updates import mixed_update_stream
+
+    g = random_digraph(15, 40, seed=23)
+    stream = mixed_update_stream(g, 30, seed=24)
+    assert all(op in ("insert", "delete") for op, _, _ in stream)
+    # Determinism: same seed, same stream; different seed, different.
+    assert stream == mixed_update_stream(g, 30, seed=24)
+    assert stream != mixed_update_stream(g, 30, seed=25)
+
+
+def test_mixed_stream_invalid_ratios():
+    from repro.workloads.updates import mixed_update_stream
+
+    g = random_digraph(6, 10, seed=1)
+    with pytest.raises(ValueError):
+        mixed_update_stream(g, 5, node_ratio=-0.1)
+    with pytest.raises(ValueError):
+        mixed_update_stream(g, 5, promote_ratio=1.5)
+    with pytest.raises(ValueError):
+        mixed_update_stream(g, 5, node_ratio=0.7, promote_ratio=0.7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 10), st.integers(0, 25))
+def test_property_mixed_stream_applies_exactly(n, count):
+    from repro.workloads.updates import mixed_update_stream
+
+    g = random_digraph(n, min(2 * n, n * (n - 1)), seed=n)
+    stream = mixed_update_stream(
+        g, count, node_ratio=0.25, promote_ratio=0.15, seed=count
+    )
+    dynamic = DynamicReachabilityIndex(g)
+    apply_stream(dynamic, stream)
+    assert dynamic.snapshot() == tol_index(
+        dynamic.current_graph(), dynamic.order
+    )

@@ -241,6 +241,34 @@ def check_file(path: Path, list_only: bool = False) -> FileReport:
     return report
 
 
+_ADD_PARSER_RE = re.compile(r"\bsub\.add_parser\(\s*\"([a-z0-9-]+)\"", re.S)
+_CLI_TABLE_ROW_RE = re.compile(r"^\|\s*`([a-z0-9-]+)`\s*\|", re.M)
+
+
+def check_cli_table(api_md: Path) -> list[Failure]:
+    """Every top-level CLI subcommand must have a row in api.md's table.
+
+    The table in the "Command line" section is the canonical CLI
+    surface listing; this guard catches the recurring drift where a PR
+    adds a subcommand but not its row.
+    """
+    cli_source = (REPO_ROOT / "src" / "repro" / "cli.py").read_text(
+        encoding="utf-8"
+    )
+    subcommands = set(_ADD_PARSER_RE.findall(cli_source))
+    documented = set(_CLI_TABLE_ROW_RE.findall(api_md.read_text(encoding="utf-8")))
+    failures = []
+    for name in sorted(subcommands - documented):
+        failures.append(
+            Failure(
+                api_md, 0,
+                f"CLI subcommand `{name}` missing from the command table",
+                "add a row to the 'Command line' table in docs/api.md",
+            )
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -264,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
             exit_code = 1
             continue
         report = check_file(path, list_only=args.list)
+        if path.name == "api.md" and not args.list:
+            report.failures.extend(check_cli_table(path))
         status = "FAIL" if report.failures else "ok"
         print(
             f"{status:4} {path}: {report.commands_run} command(s) run, "
